@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper artifact (figure or table) through the
+experiment drivers in :mod:`repro.experiments`, using reduced parameters so
+the whole suite completes in minutes on a laptop.  The benchmark *value* is
+the wall-clock time of regenerating the artifact; the artifact's rows are
+attached to ``benchmark.extra_info`` so the numbers themselves can be
+inspected from the pytest-benchmark JSON output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def record_rows():
+    """Attach experiment rows/notes to the benchmark's extra_info."""
+
+    def _record(benchmark, result, max_rows: int = 12):
+        benchmark.extra_info["experiment"] = result.experiment
+        benchmark.extra_info["num_rows"] = len(result.rows)
+        benchmark.extra_info["rows"] = result.rows[:max_rows]
+        if result.notes:
+            benchmark.extra_info["notes"] = {k: str(v) for k, v in
+                                             result.notes.items()}
+        return result
+
+    return _record

@@ -1,0 +1,87 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* SWA local/global split — the paper splits the kept tokens evenly; this
+  ablation sweeps the split and checks the even split is a sound default.
+* PCIe bandwidth sensitivity — the caching-vs-recomputation crossover of the
+  dynamic scheduler should move as the CPU-GPU link gets faster.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import AlisaSystem
+from repro.core.swa import SWAConfig
+from repro.evaluation.accuracy import evaluate_policy_on_dataset
+from repro.attention.variants import SWAAttentionPolicy
+from repro.hardware.presets import H100_80GB_NODE, V100_16GB_NODE
+from repro.model.constructed import build_recall_model
+from repro.workloads.descriptors import Workload
+from repro.workloads.recall import QA_DATASETS, generate_recall_dataset
+
+
+def _accuracy_with_split(local_fraction: float) -> float:
+    model = build_recall_model("opt-13b", seed=0)
+    dataset = generate_recall_dataset(QA_DATASETS["copa"].with_sequences(2),
+                                      seed=0)
+    config = SWAConfig.from_sparsity(0.8, local_fraction=local_fraction)
+    # Evaluate by temporarily swapping the policy construction.
+    from repro.evaluation import accuracy as accuracy_module
+
+    original = accuracy_module.make_policy
+    try:
+        accuracy_module.make_policy = (
+            lambda name, kv_sparsity=0.0, **kw: SWAAttentionPolicy(config)
+        )
+        result = evaluate_policy_on_dataset(model, dataset, "swa",
+                                            kv_sparsity=0.8)
+    finally:
+        accuracy_module.make_policy = original
+    return result.accuracy
+
+
+@pytest.mark.benchmark(group="ablation-swa-split")
+def test_bench_ablation_swa_split(benchmark):
+    """Even local/global split should not be worse than a local-only split."""
+
+    def run():
+        return {fraction: _accuracy_with_split(fraction)
+                for fraction in (0.25, 0.5, 0.9)}
+
+    accuracies = benchmark(run)
+    assert accuracies[0.5] >= accuracies[0.9] - 0.05
+
+
+@pytest.mark.benchmark(group="ablation-bandwidth")
+def test_bench_ablation_pcie_bandwidth(benchmark):
+    """Faster PCIe should shrink ALISA's advantage from recomputation."""
+    workload = Workload(64, 128, 256, name="ablation")
+
+    def run():
+        out = {}
+        for bandwidth in (10e9, 20e9, 80e9):
+            hardware = H100_80GB_NODE.with_pcie_bandwidth(bandwidth)
+            with_recompute = AlisaSystem("opt-30b", hardware, kv_sparsity=0.8,
+                                         use_compression=False).run(workload)
+            without = AlisaSystem("opt-30b", hardware, kv_sparsity=0.8,
+                                  use_compression=False,
+                                  enable_recomputation=False).run(workload)
+            out[bandwidth] = without.total_time / with_recompute.total_time
+        return out
+
+    gains = benchmark(run)
+    assert gains[10e9] >= gains[80e9] - 1e-6
+
+
+@pytest.mark.benchmark(group="ablation-sparsity")
+def test_bench_ablation_kv_sparsity_sweep(benchmark):
+    """Throughput should increase monotonically with KV sparsity."""
+    workload = Workload(32, 128, 256, name="sweep")
+
+    def run():
+        return {s: AlisaSystem("opt-6.7b", V100_16GB_NODE,
+                               kv_sparsity=s).run(workload).throughput
+                for s in (0.2, 0.5, 0.8)}
+
+    throughputs = benchmark(run)
+    assert throughputs[0.8] >= throughputs[0.2]

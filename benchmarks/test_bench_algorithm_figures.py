@@ -1,0 +1,60 @@
+"""Benchmarks regenerating the algorithm-level figures (3, 4, 5, 8, 10).
+
+Each benchmark runs the corresponding experiment driver with reduced
+parameters and asserts the paper's qualitative shape on the produced rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_bench_fig03_attention_sparsity(benchmark, record_rows):
+    result = benchmark(run_experiment, "fig03_sparsity", prompt_len=32,
+                       num_steps=8)
+    record_rows(benchmark, result)
+    assert result.notes["opt-30b_mean_sparsity"] > result.notes["opt-6.7b_mean_sparsity"]
+
+
+@pytest.mark.benchmark(group="fig04")
+def test_bench_fig04_score_distributions(benchmark, record_rows):
+    result = benchmark(run_experiment, "fig04_distributions", prompt_len=32,
+                       num_steps=32)
+    record_rows(benchmark, result)
+    rho = {row["policy"]: row["spearman_rho"] for row in result.rows}
+    assert rho["swa"] > rho["local"]
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_bench_fig05_attention_maps(benchmark, record_rows):
+    result = benchmark(run_experiment, "fig05_attention_maps", seq_len=16)
+    record_rows(benchmark, result)
+    assert len(result.rows) == 16 * 17 // 2
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_bench_fig08_accuracy_sweep(benchmark, record_rows):
+    result = benchmark(run_experiment, "fig08_accuracy", models=("opt-13b",),
+                       datasets=("copa", "wikitext-2"), sparsities=(0.0, 0.8),
+                       num_sequences=2)
+    record_rows(benchmark, result)
+    dense = result.filter(policy="dense", dataset="copa")[0]["accuracy"]
+    swa = result.filter(policy="swa", dataset="copa", kv_sparsity=0.8,
+                        compressed=False)[0]["accuracy"]
+    local = result.filter(policy="local", dataset="copa",
+                          kv_sparsity=0.8)[0]["accuracy"]
+    assert swa >= dense - 0.2
+    assert local < swa
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_bench_fig10_attainable_sparsity(benchmark, record_rows):
+    result = benchmark(run_experiment, "fig10_attainable_sparsity",
+                       prompt_len=32, num_steps=8, kv_sparsities=(0.0, 0.8))
+    record_rows(benchmark, result)
+    rows = sorted(result.filter(model="opt-6.7b"),
+                  key=lambda r: r["kv_sparsity"])
+    assert rows[-1]["attention_sparsity"] > rows[0]["attention_sparsity"]

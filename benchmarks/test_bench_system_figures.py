@@ -1,0 +1,66 @@
+"""Benchmarks regenerating the motivation and system figures (1, 2c, 9, 11, 12)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="fig01")
+def test_bench_fig01_motivation(benchmark, record_rows):
+    result = benchmark(run_experiment, "fig01_motivation", output_len=256)
+    record_rows(benchmark, result)
+    rows = {r["placement"]: r for r in result.filter(workload="workload-1")}
+    assert rows["cpu-100%"]["total_time_s"] > rows["gpu-only"]["total_time_s"]
+
+
+@pytest.mark.benchmark(group="fig02")
+def test_bench_fig02_kv_caching(benchmark, record_rows):
+    result = benchmark(run_experiment, "fig02_kv_caching", num_steps=128,
+                       stride=8)
+    record_rows(benchmark, result)
+    assert all(r["with_cache_time_s"] < r["without_cache_time_s"]
+               for r in result.rows)
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_bench_fig09_throughput(benchmark, record_rows):
+    result = benchmark(run_experiment, "fig09_throughput",
+                       models=("opt-6.7b", "opt-13b"),
+                       batch_sizes=(4, 16, 64), output_len=256)
+    record_rows(benchmark, result)
+    alisa = result.filter(system="alisa", model="opt-6.7b", batch_size=64)[0]
+    assert alisa["speedup_vs_flexgen"] > 1.2
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_bench_fig09_throughput_30b(benchmark, record_rows):
+    result = benchmark(run_experiment, "fig09_throughput",
+                       models=("opt-30b", "llama-33b"), batch_sizes=(16, 64),
+                       output_len=256)
+    record_rows(benchmark, result)
+    for model in ("opt-30b", "llama-33b"):
+        alisa = result.filter(system="alisa", model=model, batch_size=64)[0]
+        assert alisa["speedup_vs_flexgen"] > 1.0
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_bench_fig11_attention_breakdown(benchmark, record_rows):
+    result = benchmark(run_experiment, "fig11_attention_breakdown")
+    record_rows(benchmark, result)
+    totals = {row["configuration"]: row["time_us"]
+              for row in result.filter(model="opt-30b", op="total")}
+    assert totals["swa-80%"] < totals["dense"]
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_bench_fig12_breakdown(benchmark, record_rows):
+    result = benchmark(run_experiment, "fig12_breakdown", output_len=512,
+                       kv_sparsities=(0.5, 0.8))
+    record_rows(benchmark, result)
+    row = result.filter(series="recomputation", kv_sparsity=0.8)[0]
+    assert row["recompute_speedup"] >= 1.0
+    speedups = {r["system"]: r["speedup_vs_flexgen"]
+                for r in result.filter(series="ablation", kv_sparsity=0.8)}
+    assert speedups["swa_ds_compression"] >= speedups["swa_only"]

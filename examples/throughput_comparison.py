@@ -1,0 +1,40 @@
+"""Reproduce a slice of Figure 9: throughput of ALISA versus baselines.
+
+Simulates OPT-6.7B and OPT-30B inference on the paper's hardware
+(V100-16GB and H100-80GB single GPU-CPU nodes) for the Alpaca workload at
+several batch sizes and prints the throughput of DeepSpeed-ZeRO,
+HuggingFace Accelerate, FlexGen, vLLM, and ALISA.
+
+Run with:  python examples/throughput_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import BASELINE_SYSTEMS
+from repro.core.engine import AlisaSystem
+from repro.hardware import hardware_for_model
+from repro.workloads import ALPACA_WORKLOAD
+
+SYSTEMS = ("deepspeed-zero", "accelerate", "flexgen", "vllm")
+
+
+def main() -> None:
+    for model in ("opt-6.7b", "opt-30b"):
+        hardware = hardware_for_model(model)
+        print(f"\n=== {model} on {hardware.name} (input 128, output 512) ===")
+        print(f"{'batch':>6s} " + " ".join(f"{name:>15s}" for name in SYSTEMS)
+              + f" {'alisa':>15s}")
+        for batch_size in (4, 16, 64):
+            workload = ALPACA_WORKLOAD.with_batch_size(batch_size)
+            cells = []
+            for name in SYSTEMS:
+                trace = BASELINE_SYSTEMS[name](model, hardware).run(workload)
+                cells.append("OOM" if trace.oom else f"{trace.throughput:.0f}")
+            alisa = AlisaSystem(model, hardware, kv_sparsity=0.8).run(workload)
+            cells.append("OOM" if alisa.oom else f"{alisa.throughput:.0f}")
+            print(f"{batch_size:>6d} " + " ".join(f"{c:>15s}" for c in cells))
+        print("(throughput in generated tokens per second)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Present so that ``pip install -e .`` works in offline environments whose
+setuptools lacks the ``bdist_wheel`` command (no ``wheel`` package); all
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

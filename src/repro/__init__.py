@@ -1,0 +1,28 @@
+"""ALISA reproduction: sparsity-aware KV caching for LLM inference.
+
+The package is organised as:
+
+* :mod:`repro.core` — the paper's contribution: Sparse Window Attention,
+  the three-phase dynamic scheduler, the offline scheduler optimizer, KV
+  compression, and the composed ALISA engine.
+* :mod:`repro.model` — a NumPy transformer substrate (functional inference).
+* :mod:`repro.attention` — dense/local/strided/H2O/SWA attention policies.
+* :mod:`repro.kvcache` — KV-cache data structures.
+* :mod:`repro.systems` — memory devices, PCIe link, analytic cost model.
+* :mod:`repro.hardware` — hardware presets (V100, H100, Xeon host).
+* :mod:`repro.baselines` — FlexGen/vLLM/Accelerate/DeepSpeed-style systems.
+* :mod:`repro.workloads` — synthetic corpora and task generators.
+* :mod:`repro.evaluation` — perplexity, accuracy, sparsity, throughput.
+* :mod:`repro.experiments` — one driver per paper figure/table.
+"""
+
+from repro._common import ConfigurationError, OutOfMemoryError, ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "OutOfMemoryError",
+    "ReproError",
+    "__version__",
+]

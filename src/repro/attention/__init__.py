@@ -1,0 +1,33 @@
+"""Attention policies (dense, local, strided, H2O, SWA, Belady oracle)."""
+
+from repro.attention.base import (
+    AttentionPolicy,
+    ObservingPolicy,
+    SelectionBudget,
+    ensure_last_token,
+)
+from repro.attention.variants import (
+    POLICY_FACTORIES,
+    BeladyOraclePolicy,
+    DenseAttentionPolicy,
+    H2OAttentionPolicy,
+    LocalAttentionPolicy,
+    StridedAttentionPolicy,
+    SWAAttentionPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "POLICY_FACTORIES",
+    "AttentionPolicy",
+    "BeladyOraclePolicy",
+    "DenseAttentionPolicy",
+    "H2OAttentionPolicy",
+    "LocalAttentionPolicy",
+    "ObservingPolicy",
+    "SWAAttentionPolicy",
+    "SelectionBudget",
+    "StridedAttentionPolicy",
+    "ensure_last_token",
+    "make_policy",
+]

@@ -1,0 +1,192 @@
+"""Shared interface for KV-cache attention policies.
+
+A *policy* decides, at every decoding step and for every layer, which cached
+token positions participate in attention.  The functional transformer calls:
+
+* :meth:`AttentionPolicy.select` before computing attention, to obtain the
+  kept token indices (``None`` means "keep everything" — dense attention);
+* :meth:`AttentionPolicy.observe` after computing attention, handing the
+  policy the attention weights it may need to rank tokens at future steps
+  (H2O's global sums, SWA's local sums).
+
+Policies are stateful per inference run; call :meth:`reset` before reuse.
+The selection is shared across the batch dimension (weights are averaged
+over batch and heads before ranking), matching the per-sequence evaluation
+protocol used by the paper's accuracy experiments.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._common import ConfigurationError, round_half_up, validate_fraction
+
+
+@dataclass(frozen=True)
+class SelectionBudget:
+    """How many cached tokens a policy may keep at a given step.
+
+    ``keep_ratio`` is the paper's *caching ratio* ``r``; ``kv_sparsity`` is
+    its complement (the paper reports 0–80% KV sparsity).
+    """
+
+    keep_ratio: float
+
+    def __post_init__(self) -> None:
+        validate_fraction(keep_ratio=self.keep_ratio)
+
+    @property
+    def kv_sparsity(self) -> float:
+        return 1.0 - self.keep_ratio
+
+    @classmethod
+    def from_sparsity(cls, kv_sparsity: float) -> "SelectionBudget":
+        validate_fraction(kv_sparsity=kv_sparsity)
+        return cls(keep_ratio=1.0 - kv_sparsity)
+
+    def num_kept(self, seq_len: int) -> int:
+        """Number of tokens to keep out of ``seq_len`` (at least 1)."""
+        if seq_len <= 0:
+            raise ConfigurationError("seq_len must be positive")
+        return max(1, min(seq_len, round_half_up(seq_len * self.keep_ratio)))
+
+
+class AttentionPolicy(ABC):
+    """Base class for token-selection policies over the KV cache."""
+
+    #: Human-readable identifier used by experiment outputs.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self._num_layers: int | None = None
+
+    def reset(self, num_layers: int) -> None:
+        """Clear any per-run state and prepare for ``num_layers`` layers."""
+        self._num_layers = num_layers
+
+    @abstractmethod
+    def select(self, layer_idx: int, seq_len: int) -> np.ndarray | None:
+        """Return kept token positions (sorted, unique) or ``None`` for all.
+
+        ``seq_len`` counts every cached token including the one produced at
+        the current step; the final position (``seq_len - 1``) must always be
+        kept so that the query can attend to itself.
+        """
+
+    def observe(self, layer_idx: int, positions: np.ndarray,
+                weights: np.ndarray) -> None:
+        """Record the attention weights of the step that just executed.
+
+        ``positions`` holds the absolute token indices of the attended keys
+        (length ``m``); ``weights`` has shape ``(batch, heads, q_len, m)``.
+        The default implementation ignores observations; ranking policies
+        override this.
+        """
+
+    def _check_layer(self, layer_idx: int) -> None:
+        if self._num_layers is None:
+            raise ConfigurationError(
+                f"policy {self.name!r} used before reset(num_layers)"
+            )
+        if not 0 <= layer_idx < self._num_layers:
+            raise ConfigurationError(
+                f"layer index {layer_idx} out of range [0, {self._num_layers})"
+            )
+
+
+class ObservingPolicy(AttentionPolicy):
+    """Policy base class that accumulates per-layer attention statistics.
+
+    Maintains, per layer:
+
+    * ``totals`` — accumulated attention weight received by every absolute
+      token position over the whole run (H2O's heavy-hitter statistic);
+    * ``history`` — a bounded deque of recent per-step attention rows
+      (SWA's local attention window statistic).
+
+    Weights are reduced by averaging over batch and heads, and summing over
+    the query positions of the step (so a prefill over ``s`` tokens counts
+    each of its ``s`` rows).
+    """
+
+    def __init__(self, history_window: int = 128) -> None:
+        super().__init__()
+        if history_window <= 0:
+            raise ConfigurationError("history_window must be positive")
+        self.history_window = history_window
+        self._totals: list[np.ndarray] = []
+        self._history: list[deque] = []
+
+    def reset(self, num_layers: int) -> None:
+        super().reset(num_layers)
+        self._totals = [np.zeros(0) for _ in range(num_layers)]
+        self._history = [deque(maxlen=self.history_window) for _ in range(num_layers)]
+
+    def observe(self, layer_idx: int, positions: np.ndarray,
+                weights: np.ndarray) -> None:
+        self._check_layer(layer_idx)
+        positions = np.asarray(positions, dtype=int)
+        if weights.ndim != 4:
+            raise ConfigurationError(
+                f"expected weights of shape (batch, heads, q, keys); got "
+                f"{weights.shape}"
+            )
+        if weights.shape[-1] != positions.size:
+            raise ConfigurationError(
+                "weights last dimension does not match number of positions"
+            )
+        reduced = weights.mean(axis=(0, 1))  # (q_len, m)
+        max_pos = int(positions.max()) + 1 if positions.size else 0
+        self._grow_totals(layer_idx, max_pos)
+        for row in reduced:
+            dense_row = np.zeros(max_pos)
+            dense_row[positions] = row
+            self._history[layer_idx].append(dense_row)
+            self._totals[layer_idx][:max_pos] += dense_row
+
+    def _grow_totals(self, layer_idx: int, size: int) -> None:
+        current = self._totals[layer_idx]
+        if current.size < size:
+            grown = np.zeros(size)
+            grown[: current.size] = current
+            self._totals[layer_idx] = grown
+
+    def accumulated_weights(self, layer_idx: int, seq_len: int) -> np.ndarray:
+        """Attention weight accumulated by each position since the run began."""
+        self._check_layer(layer_idx)
+        out = np.zeros(seq_len)
+        totals = self._totals[layer_idx]
+        n = min(seq_len, totals.size)
+        out[:n] = totals[:n]
+        return out
+
+    def local_attention_sum(self, layer_idx: int, seq_len: int,
+                            window: int) -> np.ndarray:
+        """Sum of the last ``window`` observed attention rows per position.
+
+        This is the paper's local attention sum ``S`` (Algorithm 1, line 2),
+        computed from the most recent steps rather than the full history.
+        """
+        self._check_layer(layer_idx)
+        out = np.zeros(seq_len)
+        history = self._history[layer_idx]
+        if not history or window <= 0:
+            return out
+        recent = list(history)[-window:]
+        for row in recent:
+            n = min(seq_len, row.size)
+            out[:n] += row[:n]
+        return out
+
+
+def ensure_last_token(indices: np.ndarray, seq_len: int) -> np.ndarray:
+    """Guarantee the current token (``seq_len - 1``) is part of the selection."""
+    last = seq_len - 1
+    idx = np.unique(np.asarray(indices, dtype=int))
+    if last not in idx:
+        idx = np.append(idx, last)
+    return np.sort(idx)

@@ -1,0 +1,194 @@
+"""Concrete attention policies: dense, local, strided, H2O, and SWA.
+
+Each policy implements the :class:`~repro.attention.base.AttentionPolicy`
+interface.  They correspond to the methods compared throughout the paper:
+
+* dense — the exact attention baseline;
+* local — Longformer-style sliding window over the most recent tokens [3];
+* strided — SparseTransformer-style fixed-stride pattern [8];
+* H2O — heavy-hitter tokens ranked by *global* accumulated attention [43];
+* SWA — ALISA's mixture of locally static and globally dynamic tokens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._common import ConfigurationError, round_half_up, validate_fraction
+from repro.attention.base import (
+    AttentionPolicy,
+    ObservingPolicy,
+    SelectionBudget,
+    ensure_last_token,
+)
+from repro.core.swa import SWAConfig, local_attention_window, select_sparse_tokens
+
+
+class DenseAttentionPolicy(AttentionPolicy):
+    """Exact attention: every cached token participates."""
+
+    name = "dense"
+
+    def select(self, layer_idx: int, seq_len: int) -> None:
+        self._check_layer(layer_idx)
+        return None
+
+
+class LocalAttentionPolicy(AttentionPolicy):
+    """Sliding-window attention over the most recent tokens (Longformer)."""
+
+    name = "local"
+
+    def __init__(self, budget: SelectionBudget) -> None:
+        super().__init__()
+        self.budget = budget
+
+    def select(self, layer_idx: int, seq_len: int) -> np.ndarray:
+        self._check_layer(layer_idx)
+        keep = self.budget.num_kept(seq_len)
+        return np.arange(seq_len - keep, seq_len)
+
+
+class StridedAttentionPolicy(AttentionPolicy):
+    """Fixed-stride attention pattern (SparseTransformer).
+
+    Keeps every ``stride``-th token counting backwards from the current one,
+    where the stride is chosen so the kept fraction matches the budget.
+    """
+
+    name = "strided"
+
+    def __init__(self, budget: SelectionBudget) -> None:
+        super().__init__()
+        self.budget = budget
+
+    def select(self, layer_idx: int, seq_len: int) -> np.ndarray:
+        self._check_layer(layer_idx)
+        keep = self.budget.num_kept(seq_len)
+        if keep >= seq_len:
+            return np.arange(seq_len)
+        stride = max(1, int(np.ceil(seq_len / keep)))
+        # Count backwards from the newest token so the current token is kept.
+        indices = np.arange(seq_len - 1, -1, -stride)[:keep]
+        return ensure_last_token(indices, seq_len)
+
+
+class H2OAttentionPolicy(ObservingPolicy):
+    """Heavy-Hitter Oracle policy [43].
+
+    Keeps half of the budget as the most recent tokens and half as the
+    positions with the largest attention weight accumulated over the *entire*
+    generation so far (the global attention-weight sum), which is the key
+    difference from SWA's local sum.
+    """
+
+    name = "h2o"
+
+    def __init__(self, budget: SelectionBudget, recent_fraction: float = 0.5,
+                 history_window: int = 128) -> None:
+        super().__init__(history_window=history_window)
+        validate_fraction(recent_fraction=recent_fraction)
+        self.budget = budget
+        self.recent_fraction = recent_fraction
+
+    def select(self, layer_idx: int, seq_len: int) -> np.ndarray:
+        self._check_layer(layer_idx)
+        keep = self.budget.num_kept(seq_len)
+        num_recent = max(1, round_half_up(keep * self.recent_fraction))
+        num_recent = min(num_recent, seq_len)
+        num_heavy = min(keep - num_recent, seq_len - num_recent)
+
+        recent = np.arange(seq_len - num_recent, seq_len)
+        if num_heavy <= 0:
+            return ensure_last_token(recent, seq_len)
+
+        totals = self.accumulated_weights(layer_idx, seq_len).copy()
+        totals[seq_len - num_recent:] = -np.inf
+        heavy = np.argpartition(totals, -num_heavy)[-num_heavy:]
+        return ensure_last_token(np.concatenate([recent, heavy]), seq_len)
+
+
+class SWAAttentionPolicy(ObservingPolicy):
+    """ALISA's Sparse Window Attention policy (Algorithm 1).
+
+    Ranks globally dynamic tokens by the attention weight received from the
+    most recent ``k`` queries only (the local attention sum), and always
+    keeps the ``k`` most recent tokens.
+    """
+
+    name = "swa"
+
+    def __init__(self, config: SWAConfig, history_window: int = 128) -> None:
+        super().__init__(history_window=history_window)
+        self.config = config
+
+    @classmethod
+    def from_sparsity(cls, kv_sparsity: float, **kwargs) -> "SWAAttentionPolicy":
+        return cls(SWAConfig.from_sparsity(kv_sparsity), **kwargs)
+
+    def select(self, layer_idx: int, seq_len: int) -> np.ndarray:
+        self._check_layer(layer_idx)
+        window = local_attention_window(seq_len, self.config)
+        local_sum = self.local_attention_sum(layer_idx, seq_len, window)
+        selection = select_sparse_tokens(local_sum, seq_len, self.config)
+        return ensure_last_token(selection.indices, seq_len)
+
+
+class BeladyOraclePolicy(AttentionPolicy):
+    """Belady's oracle policy, used as an upper bound in analysis.
+
+    Requires the *future* dense attention weights of the run (an oracle);
+    keeps the tokens that will receive the most attention from future
+    queries.  The paper discusses this policy as impractical (Section III-C);
+    it is implemented here for comparison experiments only.
+    """
+
+    name = "belady"
+
+    def __init__(self, budget: SelectionBudget,
+                 future_weights: dict[int, np.ndarray]) -> None:
+        super().__init__()
+        self.budget = budget
+        #: Mapping layer index -> dense attention weight matrix (n, n) for
+        #: the full run, observed from a prior dense pass.
+        self.future_weights = future_weights
+
+    def select(self, layer_idx: int, seq_len: int) -> np.ndarray:
+        self._check_layer(layer_idx)
+        keep = self.budget.num_kept(seq_len)
+        matrix = self.future_weights.get(layer_idx)
+        if matrix is None:
+            raise ConfigurationError(
+                f"no oracle weights registered for layer {layer_idx}"
+            )
+        future = matrix[seq_len:, :seq_len]
+        if future.size == 0:
+            return np.arange(max(0, seq_len - keep), seq_len)
+        utility = future.sum(axis=0)
+        top = np.argpartition(utility, -min(keep, seq_len))[-keep:]
+        return ensure_last_token(top, seq_len)
+
+
+#: Registry of policy constructors keyed by the names used in experiments.
+POLICY_FACTORIES = {
+    "dense": lambda kv_sparsity=0.0, **kw: DenseAttentionPolicy(),
+    "local": lambda kv_sparsity, **kw: LocalAttentionPolicy(
+        SelectionBudget.from_sparsity(kv_sparsity)),
+    "strided": lambda kv_sparsity, **kw: StridedAttentionPolicy(
+        SelectionBudget.from_sparsity(kv_sparsity)),
+    "h2o": lambda kv_sparsity, **kw: H2OAttentionPolicy(
+        SelectionBudget.from_sparsity(kv_sparsity), **kw),
+    "swa": lambda kv_sparsity, **kw: SWAAttentionPolicy.from_sparsity(
+        kv_sparsity, **kw),
+}
+
+
+def make_policy(name: str, kv_sparsity: float = 0.0, **kwargs) -> AttentionPolicy:
+    """Instantiate a policy by name with the requested KV sparsity."""
+    try:
+        factory = POLICY_FACTORIES[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown attention policy {name!r}; known: {sorted(POLICY_FACTORIES)}"
+        ) from exc
+    return factory(kv_sparsity=kv_sparsity, **kwargs)

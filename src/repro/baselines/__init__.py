@@ -1,0 +1,27 @@
+"""Baseline inference systems the paper compares against (Table I, Fig. 9)."""
+
+from repro.baselines.flexgen import FlexGenSystem
+from repro.baselines.reference import (
+    AccelerateSystem,
+    DeepSpeedZeroSystem,
+    GPUOnlySystem,
+)
+from repro.baselines.vllm_system import VLLMSystem
+
+#: Registry of baseline constructors keyed by the names used in experiments.
+BASELINE_SYSTEMS = {
+    "gpu-only": GPUOnlySystem,
+    "accelerate": AccelerateSystem,
+    "deepspeed-zero": DeepSpeedZeroSystem,
+    "flexgen": FlexGenSystem,
+    "vllm": VLLMSystem,
+}
+
+__all__ = [
+    "AccelerateSystem",
+    "BASELINE_SYSTEMS",
+    "DeepSpeedZeroSystem",
+    "FlexGenSystem",
+    "GPUOnlySystem",
+    "VLLMSystem",
+]

@@ -1,0 +1,17 @@
+"""ALISA core: SWA, dynamic scheduling, offline optimization, compression."""
+
+from repro.core.swa import (
+    SWAConfig,
+    SWASelection,
+    local_attention_window,
+    select_sparse_tokens,
+    sparse_window_attention,
+)
+
+__all__ = [
+    "SWAConfig",
+    "SWASelection",
+    "local_attention_window",
+    "select_sparse_tokens",
+    "sparse_window_attention",
+]

@@ -1,0 +1,179 @@
+"""The composed ALISA system: SWA + dynamic scheduling + KV compression.
+
+:class:`AlisaSystem` is the system-level simulator used by the throughput
+and breakdown experiments (Figures 9 and 12).  It combines
+
+* **SWA** — only ``r * n`` tokens participate in attention at each step,
+  which shrinks both the compute and the KV bytes that must be resident on
+  the GPU (Section IV);
+* **three-phase dynamic scheduling** — token placement and recomputation
+  follow :class:`~repro.core.scheduler.DynamicScheduler`, with the
+  ``alpha, beta, p1, p2`` parameters chosen offline by
+  :class:`~repro.core.optimizer.SchedulerOptimizer` (Section V-A);
+* **KV compression** — KV tensors are stored and moved as INT8, halving
+  footprint and PCIe traffic at the cost of a small (de)quantization
+  overhead (Section V-B).
+
+Ablation flags turn the last two off to reproduce Figure 12 (b)/(c):
+``use_dynamic_scheduling=False`` falls back to a FlexGen-style static split
+(but still with sparse attention), and ``enable_recomputation=False`` forces
+``beta = 0`` so Phase III never deletes anything.
+
+For functional (accuracy) experiments use
+:class:`~repro.attention.variants.SWAAttentionPolicy` with the NumPy model
+instead; this class only models time and memory.
+"""
+
+from __future__ import annotations
+
+from repro._common import ConfigurationError, validate_fraction
+from repro.core.optimizer import SchedulerOptimizer, ScheduleSolution
+from repro.core.scheduler import (
+    PHASE_GPU,
+    PHASE_GPU_CPU,
+    DynamicScheduler,
+    SchedulerConfig,
+)
+from repro.core.swa import SWAConfig
+from repro.systems.simulator import InferenceSimulator, SystemStepPlan
+from repro.workloads.descriptors import Workload
+
+
+class AlisaSystem(InferenceSimulator):
+    """ALISA inference simulator for a single GPU-CPU node."""
+
+    name = "alisa"
+    # SWA's globally dynamic token set is only known once the local attention
+    # sums of the current step are available, so CPU fetches cannot be fully
+    # prefetched behind compute the way FlexGen's static pattern can (the
+    # paper notes sparse KV tensors induce unpredictable memory accesses).
+    overlap_io = False
+
+    def __init__(self, model, hardware, kv_sparsity: float = 0.8,
+                 use_dynamic_scheduling: bool = True,
+                 use_compression: bool = True,
+                 enable_recomputation: bool = True,
+                 scheduler_config: SchedulerConfig | None = None,
+                 **kwargs) -> None:
+        validate_fraction(kv_sparsity=kv_sparsity)
+        if use_compression:
+            kwargs.setdefault("kv_dtype", "int8")
+        super().__init__(model, hardware, **kwargs)
+        self.swa = SWAConfig.from_sparsity(kv_sparsity)
+        self.kv_sparsity = kv_sparsity
+        self.use_dynamic_scheduling = use_dynamic_scheduling
+        self.use_compression = use_compression
+        self.enable_recomputation = enable_recomputation
+        self._fixed_scheduler_config = scheduler_config
+        self._scheduler: DynamicScheduler | None = None
+        self._solution: ScheduleSolution | None = None
+        self._static_cpu_fraction = 0.0
+
+    # ------------------------------------------------------------------ #
+    # offline planning
+    # ------------------------------------------------------------------ #
+    def prepare(self, workload: Workload) -> None:
+        """Run the offline scheduler optimization for this workload."""
+        gpu_budget = self.gpu_kv_budget_tokens(workload)
+        if not self.use_dynamic_scheduling:
+            # Static ablation: FlexGen-style fixed split sized for the final
+            # sequence length, with sparse attention still enabled.
+            max_tokens = workload.max_seq_len
+            self._static_cpu_fraction = (
+                0.0 if gpu_budget >= max_tokens else 1.0 - gpu_budget / max_tokens
+            )
+            self._scheduler = None
+            self._solution = None
+            return
+
+        if self._fixed_scheduler_config is not None:
+            config = self._fixed_scheduler_config
+            self._solution = None
+        else:
+            optimizer = SchedulerOptimizer(self.cost_model, workload, self.swa,
+                                           kv_dtype=self.kv_dtype)
+            beta_grid = optimizer.beta_grid if self.enable_recomputation else (0.0,)
+            optimizer.beta_grid = beta_grid
+            self._solution = optimizer.solve(weights_on_gpu=self.weights_on_gpu)
+            config = self._solution.config
+        if not self.enable_recomputation and config.recompute_ratio > 0:
+            config = SchedulerConfig(
+                offload_ratio=config.offload_ratio, recompute_ratio=0.0,
+                phase2_step=config.phase2_step, phase3_step=config.phase3_step,
+            )
+        self._scheduler = DynamicScheduler(config, self.swa, gpu_budget,
+                                           workload.input_len)
+
+    @property
+    def schedule_solution(self) -> ScheduleSolution | None:
+        """Result of the offline search (``None`` for the static ablation)."""
+        return self._solution
+
+    # ------------------------------------------------------------------ #
+    # plan hooks
+    # ------------------------------------------------------------------ #
+    def plan_prefill(self, workload: Workload) -> SystemStepPlan:
+        if self.use_dynamic_scheduling:
+            if self._scheduler is None:
+                raise ConfigurationError("prepare() must run before planning")
+            plan = self._scheduler.plan_prefill()
+            return SystemStepPlan(
+                phase=plan.phase,
+                kv_gpu_tokens=plan.tokens_gpu,
+                kv_cpu_tokens=plan.tokens_cpu,
+                kept_kv=plan.kept_tokens,
+                local_window=plan.kept_local,
+                offload_kv_tokens=plan.offload_tokens,
+                quantize_tokens=self._quantized(plan.offload_tokens),
+            )
+        cpu_tokens = self._static_cpu_fraction * workload.input_len
+        return SystemStepPlan(
+            phase=PHASE_GPU if cpu_tokens == 0 else PHASE_GPU_CPU,
+            kv_gpu_tokens=workload.input_len - cpu_tokens,
+            kv_cpu_tokens=cpu_tokens,
+            offload_kv_tokens=cpu_tokens,
+            quantize_tokens=self._quantized(cpu_tokens),
+        )
+
+    def plan_decode_step(self, step: int, workload: Workload) -> SystemStepPlan:
+        seq_len = workload.input_len + step + 1
+        num_local, num_global = self.swa.split_budget(seq_len)
+        kept = num_local + num_global
+
+        if self.use_dynamic_scheduling:
+            if self._scheduler is None:
+                raise ConfigurationError("prepare() must run before planning")
+            plan = self._scheduler.plan_step(step)
+            moved = plan.load_tokens + plan.offload_tokens
+            return SystemStepPlan(
+                phase=plan.phase,
+                kv_gpu_tokens=plan.tokens_gpu,
+                kv_cpu_tokens=plan.tokens_cpu,
+                kept_kv=plan.kept_tokens,
+                local_window=plan.kept_local,
+                load_kv_tokens=plan.load_tokens,
+                offload_kv_tokens=plan.offload_tokens,
+                recompute_tokens=plan.recompute_tokens,
+                quantize_tokens=self._quantized(moved),
+            )
+
+        # Static ablation: fixed split, sparse attention, no recomputation.
+        cpu_tokens = self._static_cpu_fraction * seq_len
+        non_local = max(1, seq_len - num_local)
+        cpu_fraction_of_candidates = min(1.0, cpu_tokens / non_local)
+        load_tokens = num_global * cpu_fraction_of_candidates
+        return SystemStepPlan(
+            phase=PHASE_GPU if cpu_tokens == 0 else PHASE_GPU_CPU,
+            kv_gpu_tokens=seq_len - cpu_tokens,
+            kv_cpu_tokens=cpu_tokens,
+            kept_kv=kept,
+            local_window=num_local,
+            load_kv_tokens=load_tokens,
+            offload_kv_tokens=self._static_cpu_fraction,
+            quantize_tokens=self._quantized(load_tokens + self._static_cpu_fraction),
+        )
+
+    # ------------------------------------------------------------------ #
+    def _quantized(self, moved_tokens: float) -> float:
+        """Tokens that pay the (de)quantization overhead this step."""
+        return moved_tokens if self.use_compression else 0.0

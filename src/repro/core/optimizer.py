@@ -1,0 +1,227 @@
+"""Offline scheduler optimization (Section V-A, Equations 3–6).
+
+ALISA picks the offload ratio ``alpha``, recompute ratio ``beta``, and phase
+switch steps ``p1``/``p2`` *offline*, before inference starts.  The paper
+splits the problem into a data-transfer part (solved from hardware/software
+constraints: memory capacity, PCIe bandwidth, KV tensor sizes) and a
+computation part (solved by profiling compute and recompute times), then
+applies a greedy search over the combined objective.
+
+This module reproduces that flow:
+
+* :class:`CostParameters` collects the Table II notation for one run;
+* :func:`gpu_kv_budget_tokens` solves the capacity constraint, yielding
+  ``p1`` (the step at which KV tensors stop fitting in GPU memory);
+* :class:`ProfileTable` plays the role of the paper's offline profiling,
+  caching compute/recompute times from the analytic cost model;
+* :class:`SchedulerOptimizer` performs the grid/greedy search over
+  ``alpha``, ``beta``, and ``p2`` and returns the best
+  :class:`~repro.core.scheduler.SchedulerConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._common import ConfigurationError, dtype_bytes, validate_fraction
+from repro.core.scheduler import DynamicScheduler, SchedulerConfig, StepPlan
+from repro.core.swa import SWAConfig
+from repro.systems.cost import LLMCostModel
+from repro.workloads.descriptors import Workload
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """The notation of Table II, bundled for one run."""
+
+    hidden_size: int          # h
+    num_layers: int           # l
+    batch_size: int           # b
+    input_len: int            # s
+    output_len: int           # n
+    caching_ratio: float      # r
+    pcie_bandwidth: float     # B
+    kv_dtype: str = "fp16"
+
+    @property
+    def kv_bytes_per_token(self) -> float:
+        """The paper's ``4 * b * l * h`` bytes per token (FP16), generalized
+        to other KV dtypes."""
+        return (2.0 * dtype_bytes(self.kv_dtype) * self.batch_size
+                * self.num_layers * self.hidden_size)
+
+    def transfer_time(self, moved_tokens: float) -> float:
+        """Equation 3: time to move ``moved_tokens`` tokens over PCIe."""
+        if moved_tokens < 0:
+            raise ConfigurationError("moved_tokens must be non-negative")
+        return moved_tokens * self.kv_bytes_per_token / self.pcie_bandwidth
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """GPU memory left for KV tensors after weights and activations."""
+
+    gpu_capacity_bytes: float
+    weight_bytes: float
+    activation_bytes: float
+    reserve_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        validate_fraction(reserve_fraction=self.reserve_fraction)
+
+    @property
+    def kv_budget_bytes(self) -> float:
+        budget = (self.gpu_capacity_bytes * (1.0 - self.reserve_fraction)
+                  - self.weight_bytes - self.activation_bytes)
+        return max(0.0, budget)
+
+
+def gpu_kv_budget_tokens(cost_model: LLMCostModel, workload: Workload,
+                         kv_dtype: str = "fp16",
+                         weights_on_gpu: bool = True,
+                         reserve_fraction: float = 0.05) -> int:
+    """How many KV tokens fit in GPU memory for this model and workload."""
+    budget = MemoryBudget(
+        gpu_capacity_bytes=cost_model.hardware.gpu.memory_bytes,
+        weight_bytes=cost_model.weight_bytes() if weights_on_gpu else 0.0,
+        activation_bytes=cost_model.activation_bytes(workload.batch_size,
+                                                     workload.input_len),
+        reserve_fraction=reserve_fraction,
+    )
+    per_token = cost_model.kv_bytes_per_token(workload.batch_size, kv_dtype)
+    if per_token <= 0:
+        raise ConfigurationError("per-token KV size must be positive")
+    return max(1, int(budget.kv_budget_bytes // per_token))
+
+
+def phase1_end_step(budget_tokens: int, workload: Workload) -> int:
+    """First decoding step at which KV tensors no longer fit in GPU memory.
+
+    This is ``p1``: solved purely from the capacity constraint, as the paper
+    does for the data-transfer sub-problem.
+    """
+    first_overflow = budget_tokens - workload.input_len
+    return int(np.clip(first_overflow, 0, workload.output_len))
+
+
+class ProfileTable:
+    """Cached compute/recompute/transfer costs (the paper's offline profiling)."""
+
+    def __init__(self, cost_model: LLMCostModel, workload: Workload,
+                 swa: SWAConfig, kv_dtype: str = "fp16") -> None:
+        self.cost_model = cost_model
+        self.workload = workload
+        self.swa = swa
+        self.kv_dtype = kv_dtype
+        self._compute_cache: dict[int, float] = {}
+        self._recompute_cache: dict[int, float] = {}
+
+    def compute_time(self, sequence_length: int) -> float:
+        """GPU compute time of one decoding step at the given sequence length."""
+        if sequence_length not in self._compute_cache:
+            num_local, num_global = self.swa.split_budget(sequence_length)
+            self._compute_cache[sequence_length] = self.cost_model.decode_step_time(
+                self.workload.batch_size,
+                kv_len=sequence_length,
+                kept_kv=num_local + num_global,
+                local_window=num_local,
+            )
+        return self._compute_cache[sequence_length]
+
+    def recompute_time(self, num_tokens: float) -> float:
+        """Time to recompute the KV projections of ``num_tokens`` tokens."""
+        key = int(round(num_tokens))
+        if key not in self._recompute_cache:
+            self._recompute_cache[key] = self.cost_model.recompute_time(
+                self.workload.batch_size, key
+            )
+        return self._recompute_cache[key]
+
+    def transfer_time(self, moved_tokens: float) -> float:
+        per_token = self.cost_model.kv_bytes_per_token(
+            self.workload.batch_size, self.kv_dtype
+        )
+        return self.cost_model.pcie_time(moved_tokens * per_token)
+
+
+@dataclass(frozen=True)
+class ScheduleSolution:
+    """Output of the offline search."""
+
+    config: SchedulerConfig
+    estimated_time: float
+    gpu_budget_tokens: int
+    evaluated_candidates: int
+
+
+class SchedulerOptimizer:
+    """Greedy/grid search over ``alpha``, ``beta``, ``p2`` (Equation 5)."""
+
+    def __init__(self, cost_model: LLMCostModel, workload: Workload,
+                 swa: SWAConfig, kv_dtype: str = "fp16",
+                 alpha_grid: tuple[float, ...] = (0.3, 0.5, 0.7, 0.9, 1.0),
+                 beta_grid: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6),
+                 num_p2_candidates: int = 5) -> None:
+        self.cost_model = cost_model
+        self.workload = workload
+        self.swa = swa
+        self.kv_dtype = kv_dtype
+        self.alpha_grid = alpha_grid
+        self.beta_grid = beta_grid
+        self.num_p2_candidates = num_p2_candidates
+        self.profile = ProfileTable(cost_model, workload, swa, kv_dtype)
+
+    # ------------------------------------------------------------------ #
+    def estimate_plan_time(self, plans: list[StepPlan]) -> float:
+        """Objective of Equation 5 evaluated on a sequence of step plans."""
+        total = 0.0
+        for plan in plans:
+            if plan.step < 0:
+                continue  # prefill handled separately by the simulator
+            total += self.profile.compute_time(plan.sequence_length)
+            total += self.profile.transfer_time(plan.load_tokens + plan.offload_tokens)
+            total += self.profile.recompute_time(plan.recompute_tokens)
+        return total
+
+    def evaluate(self, config: SchedulerConfig, gpu_budget: int) -> float:
+        scheduler = DynamicScheduler(config, self.swa, gpu_budget,
+                                     self.workload.input_len)
+        plans = scheduler.plan_run(self.workload.output_len)
+        return self.estimate_plan_time(plans)
+
+    def solve(self, weights_on_gpu: bool = True) -> ScheduleSolution:
+        """Run the search and return the best scheduler configuration."""
+        gpu_budget = gpu_kv_budget_tokens(self.cost_model, self.workload,
+                                          self.kv_dtype, weights_on_gpu)
+        p1 = phase1_end_step(gpu_budget, self.workload)
+
+        p2_candidates = sorted({
+            int(p)
+            for p in np.linspace(p1, self.workload.output_len,
+                                 self.num_p2_candidates)
+        })
+
+        best_config: SchedulerConfig | None = None
+        best_time = float("inf")
+        evaluated = 0
+        for alpha in self.alpha_grid:
+            for beta in self.beta_grid:
+                for p2 in p2_candidates:
+                    if beta == 0.0 and p2 != p2_candidates[-1]:
+                        continue  # beta=0 makes p2 irrelevant; skip duplicates
+                    config = SchedulerConfig(
+                        offload_ratio=alpha, recompute_ratio=beta,
+                        phase2_step=p1, phase3_step=max(p1, p2),
+                    )
+                    elapsed = self.evaluate(config, gpu_budget)
+                    evaluated += 1
+                    if elapsed < best_time:
+                        best_time = elapsed
+                        best_config = config
+        if best_config is None:
+            raise ConfigurationError("scheduler search evaluated no candidates")
+        return ScheduleSolution(config=best_config, estimated_time=best_time,
+                                gpu_budget_tokens=gpu_budget,
+                                evaluated_candidates=evaluated)

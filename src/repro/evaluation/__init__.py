@@ -1,0 +1,49 @@
+"""Evaluation metrics and runners (perplexity, accuracy, sparsity, Spearman)."""
+
+from repro.evaluation.accuracy import (
+    AccuracyResult,
+    evaluate_policy_on_dataset,
+    sweep_sparsity,
+)
+from repro.evaluation.correlation import (
+    distribution_summary,
+    score_distribution,
+    spearman_correlation,
+)
+from repro.evaluation.metrics import (
+    answer_accuracy,
+    geometric_mean,
+    negative_perplexity,
+    perplexity,
+    relative_accuracy_drop,
+    token_log_likelihoods,
+)
+from repro.evaluation.sparsity import (
+    ROW_MAX_THRESHOLD,
+    attention_weight_sparsity,
+    average_attention_map,
+    average_received_attention,
+    per_layer_sparsity,
+    sparsity_over_steps,
+)
+
+__all__ = [
+    "ROW_MAX_THRESHOLD",
+    "AccuracyResult",
+    "answer_accuracy",
+    "attention_weight_sparsity",
+    "average_attention_map",
+    "average_received_attention",
+    "distribution_summary",
+    "evaluate_policy_on_dataset",
+    "geometric_mean",
+    "negative_perplexity",
+    "per_layer_sparsity",
+    "perplexity",
+    "relative_accuracy_drop",
+    "score_distribution",
+    "spearman_correlation",
+    "sparsity_over_steps",
+    "sweep_sparsity",
+    "token_log_likelihoods",
+]

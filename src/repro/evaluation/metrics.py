@@ -1,0 +1,77 @@
+"""Task metrics: perplexity, answer accuracy, throughput helpers.
+
+The paper reports negative perplexity for language modelling and accuracy
+for question answering (Figure 8, "higher is better" on both axes), and
+token throughput for the system experiments (Figure 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._common import ConfigurationError, log_softmax
+
+
+def token_log_likelihoods(logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Per-token log-likelihoods.
+
+    ``logits`` has shape ``(batch, seq, vocab)`` and ``targets`` has shape
+    ``(batch, seq)``; ``logits[:, t]`` must be the prediction for
+    ``targets[:, t]``.
+    """
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    if logits.ndim != 3 or targets.ndim != 2:
+        raise ConfigurationError("logits must be 3-D and targets 2-D")
+    if logits.shape[:2] != targets.shape:
+        raise ConfigurationError(
+            f"shape mismatch: logits {logits.shape[:2]} vs targets {targets.shape}"
+        )
+    log_probs = log_softmax(logits, axis=-1)
+    batch_idx = np.arange(targets.shape[0])[:, None]
+    pos_idx = np.arange(targets.shape[1])[None, :]
+    return log_probs[batch_idx, pos_idx, targets]
+
+
+def perplexity(logits: np.ndarray, targets: np.ndarray,
+               positions: np.ndarray | None = None) -> float:
+    """Perplexity over all target positions (or a subset of positions)."""
+    lls = token_log_likelihoods(logits, targets)
+    if positions is not None:
+        positions = np.asarray(positions, dtype=int)
+        lls = lls[:, positions]
+    return float(np.exp(-np.mean(lls)))
+
+
+def negative_perplexity(logits: np.ndarray, targets: np.ndarray,
+                        positions: np.ndarray | None = None) -> float:
+    """The paper's language-modelling metric (higher is better)."""
+    return -perplexity(logits, targets, positions)
+
+
+def answer_accuracy(logits: np.ndarray, targets: np.ndarray,
+                    positions: np.ndarray) -> float:
+    """Fraction of answer positions where the argmax prediction is correct."""
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    positions = np.asarray(positions, dtype=int)
+    if positions.size == 0:
+        raise ConfigurationError("no answer positions supplied")
+    predictions = logits[:, positions].argmax(axis=-1)
+    reference = targets[:, positions]
+    return float(np.mean(predictions == reference))
+
+
+def relative_accuracy_drop(baseline: float, value: float) -> float:
+    """Relative drop of a metric versus its dense-attention baseline."""
+    if baseline == 0:
+        raise ConfigurationError("baseline metric must be non-zero")
+    return (baseline - value) / abs(baseline)
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (used for speedup summaries)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0 or np.any(arr <= 0):
+        raise ConfigurationError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,101 @@
+"""Attention-weight sparsity measurement (Figures 3, 5, and 10).
+
+The paper counts an attention-weight element as zero when it falls below 1%
+of its row's maximum value, and reports the fraction of such elements over
+the causally valid (unmasked) part of the attention matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._common import ConfigurationError
+from repro.model.transformer import StepRecord
+
+#: The paper's threshold: elements below this fraction of the row maximum
+#: count as zero.
+ROW_MAX_THRESHOLD = 0.01
+
+
+def attention_weight_sparsity(weights: np.ndarray,
+                              threshold: float = ROW_MAX_THRESHOLD,
+                              causal: bool = True) -> float:
+    """Sparsity of one attention-weight tensor ``(batch, heads, q, k)``."""
+    weights = np.asarray(weights)
+    if weights.ndim != 4:
+        raise ConfigurationError("weights must be (batch, heads, q, k)")
+    q_len, k_len = weights.shape[-2:]
+    row_max = weights.max(axis=-1, keepdims=True)
+    below = weights < threshold * row_max
+    if causal and q_len > 1:
+        offset = k_len - q_len
+        valid = (np.arange(k_len)[None, :]
+                 <= (np.arange(q_len)[:, None] + offset))
+        below = below[..., valid]
+        return float(np.mean(below))
+    return float(np.mean(below))
+
+
+def per_layer_sparsity(record: StepRecord,
+                       threshold: float = ROW_MAX_THRESHOLD) -> list[float]:
+    """Sparsity of every layer's attention weights in one step record."""
+    return [attention_weight_sparsity(w, threshold) for w in record.weights]
+
+
+def sparsity_over_steps(records: list[StepRecord],
+                        threshold: float = ROW_MAX_THRESHOLD) -> np.ndarray:
+    """Matrix of sparsities with shape ``(num_steps, num_layers)``."""
+    if not records:
+        raise ConfigurationError("no step records supplied")
+    return np.array([per_layer_sparsity(r, threshold) for r in records])
+
+
+def average_attention_map(records: list[StepRecord], layer: int,
+                          seq_len: int) -> np.ndarray:
+    """Average dense attention map over heads/batch for one layer (Figure 5).
+
+    Only prefill records (``q_len == k_len``) contribute; the map is the
+    mean attention-weight matrix truncated/padded to ``seq_len`` positions.
+    """
+    if seq_len <= 0:
+        raise ConfigurationError("seq_len must be positive")
+    accumulated = np.zeros((seq_len, seq_len))
+    count = 0
+    for record in records:
+        weights = record.weights[layer]
+        q_len, k_len = weights.shape[-2:]
+        if q_len < 2:
+            continue
+        mean_map = weights.mean(axis=(0, 1))
+        size = min(seq_len, q_len)
+        accumulated[:size, :size] += mean_map[:size, :size]
+        count += 1
+    if count == 0:
+        raise ConfigurationError("no prefill records with q_len > 1 found")
+    return accumulated / count
+
+
+def average_received_attention(records: list[StepRecord], layer: int,
+                               num_positions: int) -> np.ndarray:
+    """Average attention weight received by each absolute token position.
+
+    Used for the attention-score-distribution comparison of Figure 4: each
+    decoding step distributes one unit of attention over the selected key
+    positions; this function accumulates it per position and normalizes by
+    the number of steps.
+    """
+    if num_positions <= 0:
+        raise ConfigurationError("num_positions must be positive")
+    received = np.zeros(num_positions)
+    steps = 0
+    for record in records:
+        weights = record.weights[layer]
+        positions = np.asarray(record.key_positions[layer], dtype=int)
+        reduced = weights.mean(axis=(0, 1))  # (q_len, kept)
+        for row in reduced:
+            valid = positions < num_positions
+            received[positions[valid]] += row[valid]
+            steps += 1
+    if steps == 0:
+        raise ConfigurationError("no records supplied")
+    return received / steps

@@ -1,0 +1,10 @@
+"""Experiment drivers, one per paper figure/table (see DESIGN.md)."""
+
+from repro.experiments import algorithm, motivation, system  # noqa: F401 (registration)
+from repro.experiments.base import (
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = ["ExperimentResult", "list_experiments", "run_experiment"]

@@ -1,0 +1,45 @@
+"""Command-line entry point: ``python -m repro.experiments <name>``.
+
+Run ``python -m repro.experiments --list`` to enumerate the available
+experiments (one per paper figure/table) and
+``python -m repro.experiments fig09_throughput`` to print its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.base import list_experiments, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce a figure or table from the ALISA paper.",
+    )
+    parser.add_argument("experiment", nargs="?",
+                        help="experiment name (see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--max-rows", type=int, default=40,
+                        help="maximum number of table rows to print")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        for name, description in list_experiments().items():
+            print(f"{name:28s} {description}")
+        return 0
+
+    result = run_experiment(args.experiment)
+    print(f"# {result.experiment}: {result.description}")
+    print(result.to_table(max_rows=args.max_rows))
+    if len(result.rows) > args.max_rows:
+        print(f"... ({len(result.rows)} rows total)")
+    for key, value in result.notes.items():
+        print(f"note: {key} = {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

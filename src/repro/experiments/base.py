@@ -1,0 +1,90 @@
+"""Experiment driver infrastructure.
+
+Each paper figure/table is reproduced by a function returning an
+:class:`ExperimentResult` — a list of flat row dictionaries plus metadata —
+so that benchmarks, tests, and the CLI can all consume the same outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro._common import ConfigurationError
+
+
+@dataclass
+class ExperimentResult:
+    """Rows reproducing one paper artifact (figure or table)."""
+
+    experiment: str
+    description: str
+    rows: list[dict] = field(default_factory=list)
+    notes: dict = field(default_factory=dict)
+
+    def add(self, **row) -> None:
+        self.rows.append(row)
+
+    def column(self, name: str) -> list:
+        return [row[name] for row in self.rows]
+
+    def filter(self, **criteria) -> list[dict]:
+        """Rows matching all given column=value criteria."""
+        out = []
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in criteria.items()):
+                out.append(row)
+        return out
+
+    def to_table(self, max_rows: int | None = None) -> str:
+        """Render rows as an aligned text table."""
+        if not self.rows:
+            return f"[{self.experiment}] no rows"
+        columns = list(self.rows[0].keys())
+        rows = self.rows if max_rows is None else self.rows[:max_rows]
+        rendered = [[_fmt(row.get(col)) for col in columns] for row in rows]
+        widths = [max(len(col), *(len(r[i]) for r in rendered))
+                  for i, col in enumerate(columns)]
+        lines = [
+            "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns)),
+            "  ".join("-" * widths[i] for i in range(len(columns))),
+        ]
+        lines.extend("  ".join(r[i].ljust(widths[i]) for i in range(len(columns)))
+                     for r in rendered)
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+#: Global registry of experiment drivers: name -> (description, callable).
+_REGISTRY: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {}
+
+
+def register(name: str, description: str):
+    """Decorator registering an experiment driver under ``name``."""
+
+    def decorator(func: Callable[..., ExperimentResult]):
+        _REGISTRY[name] = (description, func)
+        return func
+
+    return decorator
+
+
+def list_experiments() -> dict[str, str]:
+    """Mapping of registered experiment names to their descriptions."""
+    return {name: desc for name, (desc, _) in sorted(_REGISTRY.items())}
+
+
+def run_experiment(name: str, **kwargs) -> ExperimentResult:
+    """Run a registered experiment by name."""
+    try:
+        _, func = _REGISTRY[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; known: {sorted(_REGISTRY)}"
+        ) from exc
+    return func(**kwargs)

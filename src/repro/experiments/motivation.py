@@ -1,0 +1,91 @@
+"""Motivation experiments: Figure 1 and Figure 2 (c).
+
+* ``fig01_motivation`` — execution-time and memory breakdown of OPT-6.7B
+  inference under three workloads when KV tensors are kept on GPU, split
+  50/50 with CPU memory, or kept fully in CPU memory (FlexGen-style).
+* ``fig02_kv_caching`` — execution time and memory usage per decoding step
+  with and without KV caching.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.flexgen import FlexGenSystem
+from repro.baselines.reference import GPUOnlySystem
+from repro.experiments.base import ExperimentResult, register
+from repro.hardware.presets import V100_32GB_NODE
+from repro.systems.cost import LLMCostModel
+from repro.model.config import get_config
+from repro.workloads.descriptors import FIGURE1_WORKLOADS, Workload
+
+
+@register("fig01_motivation",
+          "Time and memory breakdown for OPT-6.7B under GPU-only, 50% and "
+          "100% CPU KV placement (Figure 1)")
+def fig01_motivation(model: str = "opt-6.7b", output_len: int | None = None,
+                     workloads=FIGURE1_WORKLOADS) -> ExperimentResult:
+    result = ExperimentResult("fig01_motivation",
+                              "Figure 1: motivation breakdown")
+    hardware = V100_32GB_NODE
+    config = get_config(model)
+    cost = LLMCostModel(config, hardware)
+    placements = {
+        "gpu-only": None,
+        "cpu-50%": 0.5,
+        "cpu-100%": 1.0,
+    }
+    for workload in workloads:
+        if output_len is not None:
+            workload = Workload(workload.batch_size, workload.input_len,
+                                output_len, name=workload.name)
+        for placement, cpu_fraction in placements.items():
+            if cpu_fraction is None:
+                system = GPUOnlySystem(model, hardware)
+            else:
+                system = FlexGenSystem(model, hardware,
+                                       cpu_fraction=cpu_fraction)
+            trace = system.run(workload)
+            components = trace.time_by_component()
+            kv_bytes = cost.kv_bytes(workload.batch_size, workload.max_seq_len)
+            result.add(
+                workload=workload.name,
+                batch_size=workload.batch_size,
+                placement=placement,
+                oom=trace.oom,
+                total_time_s=trace.total_time,
+                compute_time_s=components["compute"] + components["prefill"],
+                memory_access_time_s=components["transfer"],
+                weights_gb=cost.weight_bytes() / 1e9,
+                activations_gb=cost.activation_bytes(
+                    workload.batch_size, workload.input_len) / 1e9,
+                kv_tensors_gb=kv_bytes / 1e9,
+                peak_gpu_gb=trace.peak_gpu_bytes / 1e9,
+                gpu_capacity_gb=hardware.gpu.memory_bytes / 1e9,
+            )
+    return result
+
+
+@register("fig02_kv_caching",
+          "Execution time and GPU memory per decoding step with and without "
+          "KV caching (Figure 2 c)")
+def fig02_kv_caching(model: str = "opt-6.7b", batch_size: int = 8,
+                     prompt_len: int = 32, num_steps: int = 128,
+                     stride: int = 8) -> ExperimentResult:
+    result = ExperimentResult("fig02_kv_caching",
+                              "Figure 2(c): KV caching vs recomputation")
+    config = get_config(model)
+    cost = LLMCostModel(config, V100_32GB_NODE)
+    for step in range(0, num_steps, stride):
+        seq_len = prompt_len + step + 1
+        with_cache = cost.decode_step_time(batch_size, kv_len=seq_len)
+        # Without KV caching every step recomputes attention over the whole
+        # sequence (quadratic work), i.e. a full prefill-shaped pass.
+        without_cache = cost.prefill_time(batch_size, seq_len)
+        result.add(
+            step=step,
+            seq_len=seq_len,
+            with_cache_time_s=with_cache,
+            without_cache_time_s=without_cache,
+            with_cache_kv_gb=cost.kv_bytes(batch_size, seq_len) / 1e9,
+            without_cache_kv_gb=0.0,
+        )
+    return result

@@ -1,0 +1,33 @@
+"""Hardware presets for the single GPU-CPU node of the paper's evaluation."""
+
+from repro.hardware.presets import (
+    GB,
+    HARDWARE_PRESETS,
+    PAPER_PCIE_BANDWIDTH,
+    A100_40GB_NODE,
+    CPUSpec,
+    GPUSpec,
+    H100_80GB_NODE,
+    HardwareSpec,
+    V100_16GB_NODE,
+    V100_32GB_NODE,
+    XEON_HOST_128GB,
+    get_hardware,
+    hardware_for_model,
+)
+
+__all__ = [
+    "A100_40GB_NODE",
+    "CPUSpec",
+    "GB",
+    "GPUSpec",
+    "H100_80GB_NODE",
+    "HARDWARE_PRESETS",
+    "HardwareSpec",
+    "PAPER_PCIE_BANDWIDTH",
+    "V100_16GB_NODE",
+    "V100_32GB_NODE",
+    "XEON_HOST_128GB",
+    "get_hardware",
+    "hardware_for_model",
+]

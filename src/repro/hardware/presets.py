@@ -1,0 +1,136 @@
+"""Hardware specifications used by the analytic performance model.
+
+The paper's system evaluation runs on a single GPU-CPU node:
+
+* NVIDIA Tesla V100 with 16 GB or 32 GB HBM for the 7B/13B models,
+* NVIDIA H100 with 80 GB HBM for the 30B models,
+* a 2.60 GHz Intel Xeon host with 128 GB DRAM,
+* 20 GB/s of CPU-GPU bandwidth (Section VI-A).
+
+These presets capture the capacity, compute throughput, and bandwidth
+numbers that drive the cost model.  Compute throughputs are the published
+dense FP16 tensor throughputs de-rated to a realistic attainable fraction,
+because the reproduction cares about relative behaviour (compute vs. I/O
+crossovers), not peak-spec marketing numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro._common import ConfigurationError, validate_positive
+
+GB = 1024**3
+#: Attainable fraction of peak tensor throughput for the GEMM-heavy parts of
+#: LLM decoding (memory-bound small-batch GEMMs rarely exceed this).
+DEFAULT_COMPUTE_EFFICIENCY = 0.35
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU accelerator: capacity, compute, and HBM bandwidth."""
+
+    name: str
+    memory_bytes: float
+    fp16_flops: float
+    hbm_bandwidth: float
+    compute_efficiency: float = DEFAULT_COMPUTE_EFFICIENCY
+
+    def __post_init__(self) -> None:
+        validate_positive(memory_bytes=self.memory_bytes,
+                          fp16_flops=self.fp16_flops,
+                          hbm_bandwidth=self.hbm_bandwidth,
+                          compute_efficiency=self.compute_efficiency)
+
+    @property
+    def effective_flops(self) -> float:
+        return self.fp16_flops * self.compute_efficiency
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """The host CPU and its DRAM."""
+
+    name: str
+    memory_bytes: float
+    flops: float
+    dram_bandwidth: float
+
+    def __post_init__(self) -> None:
+        validate_positive(memory_bytes=self.memory_bytes, flops=self.flops,
+                          dram_bandwidth=self.dram_bandwidth)
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """A single GPU-CPU inference node."""
+
+    name: str
+    gpu: GPUSpec
+    cpu: CPUSpec
+    pcie_bandwidth: float
+
+    def __post_init__(self) -> None:
+        validate_positive(pcie_bandwidth=self.pcie_bandwidth)
+
+    def with_pcie_bandwidth(self, bandwidth: float) -> "HardwareSpec":
+        """Copy of this node with a different CPU-GPU bandwidth (ablations)."""
+        return replace(self, pcie_bandwidth=bandwidth)
+
+    def with_gpu_memory(self, memory_bytes: float) -> "HardwareSpec":
+        """Copy of this node with a different GPU memory capacity."""
+        return replace(self, gpu=replace(self.gpu, memory_bytes=memory_bytes))
+
+
+V100_GPU_16GB = GPUSpec("V100-16GB", memory_bytes=16 * GB, fp16_flops=112e12,
+                        hbm_bandwidth=900e9)
+V100_GPU_32GB = GPUSpec("V100-32GB", memory_bytes=32 * GB, fp16_flops=112e12,
+                        hbm_bandwidth=900e9)
+A100_GPU_40GB = GPUSpec("A100-40GB", memory_bytes=40 * GB, fp16_flops=312e12,
+                        hbm_bandwidth=1555e9)
+H100_GPU_80GB = GPUSpec("H100-80GB", memory_bytes=80 * GB, fp16_flops=990e12,
+                        hbm_bandwidth=3350e9)
+
+XEON_HOST_128GB = CPUSpec("Xeon-2.6GHz-128GB", memory_bytes=128 * GB,
+                          flops=2e12, dram_bandwidth=100e9)
+
+#: The paper's stated CPU-GPU bandwidth (Section VI-A).
+PAPER_PCIE_BANDWIDTH = 20e9
+
+V100_16GB_NODE = HardwareSpec("v100-16gb-node", V100_GPU_16GB, XEON_HOST_128GB,
+                              PAPER_PCIE_BANDWIDTH)
+V100_32GB_NODE = HardwareSpec("v100-32gb-node", V100_GPU_32GB, XEON_HOST_128GB,
+                              PAPER_PCIE_BANDWIDTH)
+A100_40GB_NODE = HardwareSpec("a100-40gb-node", A100_GPU_40GB, XEON_HOST_128GB,
+                              PAPER_PCIE_BANDWIDTH)
+H100_80GB_NODE = HardwareSpec("h100-80gb-node", H100_GPU_80GB, XEON_HOST_128GB,
+                              PAPER_PCIE_BANDWIDTH)
+
+HARDWARE_PRESETS: dict[str, HardwareSpec] = {
+    spec.name: spec
+    for spec in (V100_16GB_NODE, V100_32GB_NODE, A100_40GB_NODE, H100_80GB_NODE)
+}
+
+
+def get_hardware(name: str) -> HardwareSpec:
+    """Look up a hardware preset by name."""
+    try:
+        return HARDWARE_PRESETS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown hardware preset {name!r}; known: {sorted(HARDWARE_PRESETS)}"
+        ) from exc
+
+
+def hardware_for_model(model_name: str) -> HardwareSpec:
+    """Pick the node the paper uses for a given model scale.
+
+    7B/13B-level models run on the V100 (16/32 GB), 30B-level models on the
+    H100 80 GB (Section VI-A).
+    """
+    lowered = model_name.lower()
+    if any(tag in lowered for tag in ("30b", "33b")):
+        return H100_80GB_NODE
+    if any(tag in lowered for tag in ("12b", "13b")):
+        return V100_32GB_NODE
+    return V100_16GB_NODE

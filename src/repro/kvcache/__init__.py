@@ -1,0 +1,5 @@
+"""KV-cache data structures (token-level, paged, head-split)."""
+
+from repro.kvcache.cache import LayerKVCache, ModelKVCache
+
+__all__ = ["LayerKVCache", "ModelKVCache"]

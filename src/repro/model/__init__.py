@@ -1,0 +1,36 @@
+"""Functional (NumPy-executable) transformer substrate."""
+
+from repro.model.builder import build_random_model, default_attention_gain
+from repro.model.config import (
+    EXECUTABLE_CONFIGS,
+    PAPER_CONFIGS,
+    ModelConfig,
+    executable_stand_in,
+    get_config,
+    list_configs,
+)
+from repro.model.constructed import RECALL_SPECS, RecallModelSpec, build_recall_model
+from repro.model.generation import GenerationResult, generate, teacher_forced_logits
+from repro.model.tokenizer import SyntheticTokenizer
+from repro.model.transformer import InferenceSession, StepRecord, TransformerModel
+
+__all__ = [
+    "EXECUTABLE_CONFIGS",
+    "PAPER_CONFIGS",
+    "RECALL_SPECS",
+    "GenerationResult",
+    "InferenceSession",
+    "ModelConfig",
+    "RecallModelSpec",
+    "StepRecord",
+    "SyntheticTokenizer",
+    "TransformerModel",
+    "build_random_model",
+    "build_recall_model",
+    "default_attention_gain",
+    "executable_stand_in",
+    "generate",
+    "get_config",
+    "list_configs",
+    "teacher_forced_logits",
+]

@@ -1,0 +1,132 @@
+"""Multi-head attention with a pluggable KV-cache policy.
+
+This is the functional (NumPy-executable) attention layer.  It supports the
+two phases of autoregressive inference described in Figure 2 of the paper:
+
+* **prefill** — all input tokens are processed at once and their KV tensors
+  are written to the cache;
+* **decode** — one token at a time; its query attends over the cached KV
+  tensors of the positions selected by the active
+  :class:`~repro.attention.base.AttentionPolicy`.
+
+The layer also reports the attention weights of every call so that the
+sparsity, distribution, and heat-map experiments (Figures 3–5, 10) can be
+run without re-implementing attention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._common import ConfigurationError
+from repro.attention.base import AttentionPolicy
+from repro.kvcache.cache import LayerKVCache
+from repro.model.layers import Linear, causal_mask, masked_softmax
+
+
+@dataclass
+class AttentionOutput:
+    """Result of one attention call."""
+
+    hidden: np.ndarray
+    weights: np.ndarray
+    key_positions: np.ndarray
+
+
+class MultiHeadAttention:
+    """Multi-head self-attention with token-level KV caching."""
+
+    def __init__(self, layer_idx: int, num_heads: int, hidden_size: int,
+                 w_q: Linear, w_k: Linear, w_v: Linear, w_o: Linear) -> None:
+        if hidden_size % num_heads != 0:
+            raise ConfigurationError("hidden_size must be divisible by num_heads")
+        self.layer_idx = layer_idx
+        self.num_heads = num_heads
+        self.hidden_size = hidden_size
+        self.head_dim = hidden_size // num_heads
+        self.w_q = w_q
+        self.w_k = w_k
+        self.w_v = w_v
+        self.w_o = w_o
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        """(batch, seq, hidden) -> (batch, heads, seq, head_dim)."""
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """(batch, heads, seq, head_dim) -> (batch, seq, hidden)."""
+        batch, heads, seq, head_dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, heads * head_dim)
+
+    def project_kv(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Project hidden states to per-token keys and values.
+
+        Returns arrays of shape ``(batch, seq, heads, head_dim)`` — the
+        layout used by :class:`~repro.kvcache.cache.LayerKVCache`.
+        """
+        batch, seq, _ = x.shape
+        keys = self.w_k(x).reshape(batch, seq, self.num_heads, self.head_dim)
+        values = self.w_v(x).reshape(batch, seq, self.num_heads, self.head_dim)
+        return keys, values
+
+    # ------------------------------------------------------------------ #
+    # forward passes
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray, cache: LayerKVCache,
+                policy: AttentionPolicy | None = None) -> AttentionOutput:
+        """Run attention for ``x`` of shape ``(batch, q_len, hidden)``.
+
+        The new tokens' KV tensors are appended to ``cache`` before the
+        policy selects which cached positions to attend to.  During prefill
+        (``q_len > 1``) attention is always dense and causal, matching the
+        paper's protocol of applying sparsity only at the decoding stage.
+        """
+        if x.ndim != 3:
+            raise ConfigurationError("attention input must be (batch, seq, hidden)")
+        batch, q_len, hidden = x.shape
+        if hidden != self.hidden_size:
+            raise ConfigurationError(
+                f"hidden size mismatch: {hidden} != {self.hidden_size}"
+            )
+
+        keys, values = self.project_kv(x)
+        cache.append(keys, values)
+        seq_len = cache.seq_len
+
+        queries = self._split_heads(self.w_q(x).reshape(batch, q_len, hidden))
+
+        if q_len > 1 or policy is None:
+            positions = np.arange(seq_len)
+        else:
+            selected = policy.select(self.layer_idx, seq_len)
+            positions = np.arange(seq_len) if selected is None else np.asarray(selected)
+
+        cached_k, cached_v = cache.gather(positions)
+        # (batch, heads, kept, head_dim)
+        k_heads = cached_k.transpose(0, 2, 1, 3)
+        v_heads = cached_v.transpose(0, 2, 1, 3)
+
+        logits = queries @ k_heads.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
+
+        if q_len > 1:
+            mask = causal_mask(q_len, seq_len)
+        else:
+            mask = None
+        weights = masked_softmax(logits, mask)
+        context = weights @ v_heads
+        hidden_out = self.w_o(self._merge_heads(context))
+
+        if policy is not None:
+            policy.observe(self.layer_idx, positions, weights)
+
+        return AttentionOutput(hidden=hidden_out, weights=weights,
+                               key_positions=positions)
+
+    def num_parameters(self) -> int:
+        return sum(p.num_parameters() for p in (self.w_q, self.w_k, self.w_v, self.w_o))

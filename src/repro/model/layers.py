@@ -1,0 +1,150 @@
+"""Basic neural-network layers for the NumPy transformer substrate.
+
+These layers implement inference-only forward passes.  They are deliberately
+simple (no autograd) because the reproduction only needs forward inference,
+matching the paper's setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._common import ConfigurationError, softmax
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit (tanh approximation, as used by GPT/OPT)."""
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+
+@dataclass
+class Linear:
+    """Affine projection ``y = x @ W + b``.
+
+    ``weight`` has shape ``(in_features, out_features)`` so that the forward
+    pass is a plain matrix multiplication on row-major activations.
+    """
+
+    weight: np.ndarray
+    bias: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.weight.ndim != 2:
+            raise ConfigurationError("Linear weight must be 2-D")
+        if self.bias is not None and self.bias.shape != (self.weight.shape[1],):
+            raise ConfigurationError(
+                f"Linear bias shape {self.bias.shape} does not match "
+                f"out_features {self.weight.shape[1]}"
+            )
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[1]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def num_parameters(self) -> int:
+        return self.weight.size + (self.bias.size if self.bias is not None else 0)
+
+
+@dataclass
+class LayerNorm:
+    """Layer normalization over the last dimension."""
+
+    gamma: np.ndarray
+    beta: np.ndarray
+    eps: float = 1e-5
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        return self.gamma * (x - mean) / np.sqrt(var + self.eps) + self.beta
+
+    def num_parameters(self) -> int:
+        return self.gamma.size + self.beta.size
+
+
+@dataclass
+class Embedding:
+    """Token embedding lookup table of shape ``(vocab_size, hidden_size)``."""
+
+    table: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.table.ndim != 2:
+            raise ConfigurationError("Embedding table must be 2-D")
+
+    @property
+    def vocab_size(self) -> int:
+        return self.table.shape[0]
+
+    @property
+    def hidden_size(self) -> int:
+        return self.table.shape[1]
+
+    def __call__(self, token_ids: np.ndarray) -> np.ndarray:
+        token_ids = np.asarray(token_ids)
+        if np.any(token_ids < 0) or np.any(token_ids >= self.vocab_size):
+            raise ConfigurationError("token id out of embedding range")
+        return self.table[token_ids]
+
+    def num_parameters(self) -> int:
+        return self.table.size
+
+
+@dataclass
+class FeedForward:
+    """Two-layer MLP with GELU activation (the paper's FFN block)."""
+
+    up: Linear
+    down: Linear
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.down(gelu(self.up(x)))
+
+    def num_parameters(self) -> int:
+        return self.up.num_parameters() + self.down.num_parameters()
+
+
+def sinusoidal_positions(max_len: int, hidden_size: int) -> np.ndarray:
+    """Sinusoidal positional encodings of shape ``(max_len, hidden_size)``."""
+    positions = np.arange(max_len)[:, None].astype(np.float64)
+    dims = np.arange(hidden_size)[None, :].astype(np.float64)
+    angle_rates = 1.0 / np.power(10_000.0, (2 * (dims // 2)) / hidden_size)
+    angles = positions * angle_rates
+    encodings = np.zeros((max_len, hidden_size))
+    encodings[:, 0::2] = np.sin(angles[:, 0::2])
+    encodings[:, 1::2] = np.cos(angles[:, 1::2])
+    return encodings
+
+
+def causal_mask(query_len: int, key_len: int) -> np.ndarray:
+    """Boolean mask where ``True`` marks *allowed* attention positions.
+
+    The query at position ``i`` (counted from the end of the key sequence)
+    may attend to keys ``0 .. key_len - query_len + i``.
+    """
+    if key_len < query_len:
+        raise ConfigurationError("key_len must be >= query_len for causal mask")
+    offset = key_len - query_len
+    rows = np.arange(query_len)[:, None] + offset
+    cols = np.arange(key_len)[None, :]
+    return cols <= rows
+
+
+def masked_softmax(scores: np.ndarray, mask: np.ndarray | None) -> np.ndarray:
+    """Softmax over the last axis with ``False`` mask entries forced to zero."""
+    if mask is None:
+        return softmax(scores, axis=-1)
+    neg = np.where(mask, 0.0, -1e30)
+    return softmax(scores + neg, axis=-1)

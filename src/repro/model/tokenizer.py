@@ -1,0 +1,73 @@
+"""A minimal synthetic tokenizer.
+
+The reproduction's workloads are synthetic token streams, so a full BPE
+tokenizer is unnecessary.  This tokenizer maps whitespace-separated words to
+integer ids with a fixed special-token layout, which is enough to make the
+examples read like real inference scripts and to exercise the end-to-end
+API the way a downstream user would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._common import ConfigurationError
+
+
+@dataclass
+class SyntheticTokenizer:
+    """Word-level tokenizer with a bounded, dynamically grown vocabulary."""
+
+    vocab_size: int = 256
+    pad_token: int = 0
+    bos_token: int = 1
+    eos_token: int = 2
+    unk_token: int = 3
+    _word_to_id: dict[str, int] = field(default_factory=dict)
+    _id_to_word: dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.vocab_size <= 8:
+            raise ConfigurationError("vocab_size must be > 8")
+        specials = {
+            self.pad_token: "<pad>",
+            self.bos_token: "<bos>",
+            self.eos_token: "<eos>",
+            self.unk_token: "<unk>",
+        }
+        for token_id, word in specials.items():
+            self._id_to_word[token_id] = word
+            self._word_to_id[word] = token_id
+
+    @property
+    def num_reserved(self) -> int:
+        return 4
+
+    def encode(self, text: str, add_bos: bool = True) -> np.ndarray:
+        """Encode whitespace-separated words into token ids."""
+        ids = [self.bos_token] if add_bos else []
+        for word in text.split():
+            ids.append(self._lookup_or_add(word))
+        return np.asarray(ids, dtype=int)
+
+    def decode(self, token_ids) -> str:
+        """Decode token ids back into a whitespace-joined string."""
+        words = []
+        for token_id in np.asarray(token_ids).ravel():
+            words.append(self._id_to_word.get(int(token_id), f"<{int(token_id)}>"))
+        return " ".join(words)
+
+    def _lookup_or_add(self, word: str) -> int:
+        if word in self._word_to_id:
+            return self._word_to_id[word]
+        next_id = len(self._id_to_word)
+        if next_id >= self.vocab_size:
+            return self.unk_token
+        self._word_to_id[word] = next_id
+        self._id_to_word[next_id] = word
+        return next_id
+
+    def __len__(self) -> int:
+        return self.vocab_size

@@ -1,0 +1,198 @@
+"""Decoder-only transformer model executable in NumPy.
+
+The model follows the structure sketched in Figure 2(a) of the paper: an
+embedding layer, a stack of identical transformer layers (multi-head
+attention + feed-forward network, each with a residual connection and layer
+normalization), and a linear language-modelling head.
+
+The model is inference-only.  KV caching and the attention policy are
+injected per run via :class:`InferenceSession`, so the same weights can be
+evaluated under dense, local, strided, H2O, or SWA attention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._common import ConfigurationError
+from repro.attention.base import AttentionPolicy
+from repro.attention.variants import DenseAttentionPolicy
+from repro.kvcache.cache import ModelKVCache
+from repro.model.attention import MultiHeadAttention
+from repro.model.config import ModelConfig
+from repro.model.layers import Embedding, FeedForward, LayerNorm, Linear, sinusoidal_positions
+
+
+@dataclass
+class DecoderLayer:
+    """One transformer decoder layer: MHA + FFN with pre-norm residuals."""
+
+    attention: MultiHeadAttention
+    ffn: FeedForward
+    norm_attn: LayerNorm | None
+    norm_ffn: LayerNorm | None
+
+    def forward(self, x: np.ndarray, cache, policy: AttentionPolicy):
+        attn_in = self.norm_attn(x) if self.norm_attn is not None else x
+        attn_out = self.attention.forward(attn_in, cache, policy)
+        x = x + attn_out.hidden
+        ffn_in = self.norm_ffn(x) if self.norm_ffn is not None else x
+        x = x + self.ffn(ffn_in)
+        return x, attn_out
+
+    def num_parameters(self) -> int:
+        total = self.attention.num_parameters() + self.ffn.num_parameters()
+        for norm in (self.norm_attn, self.norm_ffn):
+            if norm is not None:
+                total += norm.num_parameters()
+        return total
+
+
+@dataclass
+class StepRecord:
+    """Attention weights and kept positions of one forward call, per layer."""
+
+    step_index: int
+    seq_len: int
+    weights: list[np.ndarray]
+    key_positions: list[np.ndarray]
+
+
+class TransformerModel:
+    """Decoder-only transformer with injectable KV-cache attention policy."""
+
+    def __init__(self, config: ModelConfig, embedding: Embedding,
+                 layers: list[DecoderLayer], final_norm: LayerNorm | None,
+                 lm_head: Linear,
+                 positional: np.ndarray | None = None) -> None:
+        if len(layers) != config.num_layers:
+            raise ConfigurationError(
+                f"expected {config.num_layers} layers, got {len(layers)}"
+            )
+        self.config = config
+        self.embedding = embedding
+        self.layers = layers
+        self.final_norm = final_norm
+        self.lm_head = lm_head
+        if positional is None:
+            positional = sinusoidal_positions(config.max_seq_len, config.hidden_size)
+        self.positional = positional
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def num_parameters(self) -> int:
+        total = self.embedding.num_parameters() + self.lm_head.num_parameters()
+        total += sum(layer.num_parameters() for layer in self.layers)
+        if self.final_norm is not None:
+            total += self.final_norm.num_parameters()
+        return total
+
+    def new_cache(self, batch_size: int,
+                  kv_quantization=None) -> ModelKVCache:
+        return ModelKVCache(
+            num_layers=self.config.num_layers,
+            batch_size=batch_size,
+            num_heads=self.config.num_heads,
+            head_dim=self.config.head_dim,
+            quantization=kv_quantization,
+        )
+
+    # ------------------------------------------------------------------ #
+    # forward passes
+    # ------------------------------------------------------------------ #
+    def forward(self, token_ids: np.ndarray, cache: ModelKVCache,
+                policy: AttentionPolicy, start_position: int) -> tuple[np.ndarray, StepRecord]:
+        """Run the decoder stack over ``token_ids`` of shape ``(batch, q_len)``.
+
+        Returns logits of shape ``(batch, q_len, vocab)`` and the per-layer
+        attention record of this call.
+        """
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim != 2:
+            raise ConfigurationError("token_ids must be (batch, q_len)")
+        batch, q_len = token_ids.shape
+        end = start_position + q_len
+        if end > self.config.max_seq_len:
+            raise ConfigurationError(
+                f"sequence length {end} exceeds max_seq_len "
+                f"{self.config.max_seq_len}"
+            )
+
+        hidden = self.embedding(token_ids) + self.positional[start_position:end]
+
+        weights: list[np.ndarray] = []
+        positions: list[np.ndarray] = []
+        for layer, layer_cache in zip(self.layers, cache.layers):
+            hidden, attn_out = layer.forward(hidden, layer_cache, policy)
+            weights.append(attn_out.weights)
+            positions.append(attn_out.key_positions)
+
+        if self.final_norm is not None:
+            hidden = self.final_norm(hidden)
+        logits = self.lm_head(hidden)
+        record = StepRecord(step_index=start_position, seq_len=end,
+                            weights=weights, key_positions=positions)
+        return logits, record
+
+
+class InferenceSession:
+    """Stateful autoregressive inference over a :class:`TransformerModel`.
+
+    Owns the KV cache and the attention policy for one generation run and
+    keeps the per-step attention records needed by the analysis code.
+    """
+
+    def __init__(self, model: TransformerModel, batch_size: int,
+                 policy: AttentionPolicy | None = None,
+                 record_attention: bool = True,
+                 kv_quantization=None) -> None:
+        self.model = model
+        self.batch_size = batch_size
+        self.policy = policy if policy is not None else DenseAttentionPolicy()
+        self.policy.reset(model.config.num_layers)
+        self.cache = model.new_cache(batch_size, kv_quantization=kv_quantization)
+        self.record_attention = record_attention
+        self.records: list[StepRecord] = []
+        self._position = 0
+
+    @property
+    def seq_len(self) -> int:
+        """Number of tokens processed so far."""
+        return self._position
+
+    def prefill(self, token_ids: np.ndarray) -> np.ndarray:
+        """Process the full prompt at once; returns logits for every position."""
+        if self._position != 0:
+            raise ConfigurationError("prefill must be the first call of a session")
+        logits, record = self.model.forward(
+            token_ids, self.cache, self.policy, start_position=0
+        )
+        self._position = token_ids.shape[1]
+        if self.record_attention:
+            self.records.append(record)
+        return logits
+
+    def decode_step(self, token_ids: np.ndarray) -> np.ndarray:
+        """Process one token per batch element; returns next-token logits."""
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[:, None]
+        if token_ids.shape != (self.batch_size, 1):
+            raise ConfigurationError(
+                f"decode_step expects shape ({self.batch_size}, 1); "
+                f"got {token_ids.shape}"
+            )
+        logits, record = self.model.forward(
+            token_ids, self.cache, self.policy, start_position=self._position
+        )
+        self._position += 1
+        if self.record_attention:
+            self.records.append(record)
+        return logits[:, -1]
+
+    def kv_cache_bytes(self, dtype_bytes: float = 2.0) -> float:
+        """Current KV-cache size in bytes at the given element width."""
+        return self.cache.size_bytes(dtype_bytes)

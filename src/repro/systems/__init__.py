@@ -1,0 +1,16 @@
+"""System-level substrates: memory devices, PCIe link, cost model, traces."""
+
+from repro.systems.cost import AttentionBreakdown, LLMCostModel, OpCost
+from repro.systems.memory import MemoryDevice, MemoryHierarchy, PCIeLink
+from repro.systems.trace import InferenceTrace, StepTiming
+
+__all__ = [
+    "AttentionBreakdown",
+    "InferenceTrace",
+    "LLMCostModel",
+    "MemoryDevice",
+    "MemoryHierarchy",
+    "OpCost",
+    "PCIeLink",
+    "StepTiming",
+]

@@ -1,0 +1,277 @@
+"""Analytic (roofline) performance model for transformer inference.
+
+The paper's throughput results are governed by three quantities:
+
+* compute time of the MHA and FFN blocks (GEMM-dominated),
+* HBM traffic for weights and KV tensors on the GPU,
+* PCIe traffic when KV tensors are offloaded to CPU memory.
+
+This module provides a roofline-style cost model over the *paper-scale*
+model configurations: each operator is charged
+``max(flops / attainable_flops, bytes / hbm_bandwidth)`` on the GPU, and
+CPU-GPU movement is charged against the PCIe link by the system simulators.
+The absolute numbers are approximations; the experiments only rely on the
+relative behaviour (compute vs. I/O crossovers, scaling with batch size and
+sequence length), which the roofline captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._common import ConfigurationError, dtype_bytes, validate_positive
+from repro.hardware.presets import HardwareSpec
+from repro.model.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Cost of a single operator instance."""
+
+    name: str
+    flops: float
+    bytes_moved: float
+    time_s: float
+
+    @property
+    def achieved_flops(self) -> float:
+        """Attained FLOP/s (the FLOPS annotation of Figure 11)."""
+        return self.flops / self.time_s if self.time_s > 0 else 0.0
+
+
+@dataclass
+class AttentionBreakdown:
+    """Per-operator costs of one attention module call (Figure 11)."""
+
+    ops: list[OpCost] = field(default_factory=list)
+
+    def add(self, op: OpCost) -> None:
+        self.ops.append(op)
+
+    @property
+    def total_time(self) -> float:
+        return sum(op.time_s for op in self.ops)
+
+    def as_dict(self) -> dict[str, float]:
+        return {op.name: op.time_s for op in self.ops}
+
+
+class LLMCostModel:
+    """Roofline cost model for one model configuration on one node."""
+
+    def __init__(self, config: ModelConfig, hardware: HardwareSpec,
+                 dtype: str = "fp16") -> None:
+        self.config = config
+        self.hardware = hardware
+        self.dtype = dtype
+        self.bytes_per_element = dtype_bytes(dtype)
+        validate_positive(bytes_per_element=self.bytes_per_element)
+
+    # ------------------------------------------------------------------ #
+    # static sizes
+    # ------------------------------------------------------------------ #
+    def weight_bytes(self) -> float:
+        """Total model weight size in the compute dtype."""
+        return self.config.num_parameters() * self.bytes_per_element
+
+    def layer_weight_bytes(self) -> float:
+        h = self.config.hidden_size
+        per_layer_params = 4 * h * h + 2 * h * self.config.ffn_size
+        return per_layer_params * self.bytes_per_element
+
+    def kv_bytes_per_token(self, batch_size: int, kv_dtype: str | None = None) -> float:
+        """KV-cache bytes contributed by one token across all layers."""
+        width = dtype_bytes(kv_dtype) if kv_dtype else self.bytes_per_element
+        return 2.0 * width * self.config.num_layers * self.config.hidden_size * batch_size
+
+    def kv_bytes_per_token_per_layer(self, batch_size: int,
+                                     kv_dtype: str | None = None) -> float:
+        return self.kv_bytes_per_token(batch_size, kv_dtype) / self.config.num_layers
+
+    def kv_bytes(self, batch_size: int, num_tokens: int,
+                 kv_dtype: str | None = None) -> float:
+        return self.kv_bytes_per_token(batch_size, kv_dtype) * num_tokens
+
+    def activation_bytes(self, batch_size: int, seq_len: int) -> float:
+        """Live activation footprint for one forward pass (one layer deep)."""
+        h = self.config.hidden_size
+        return 4.0 * batch_size * seq_len * h * self.bytes_per_element
+
+    # ------------------------------------------------------------------ #
+    # roofline primitives
+    # ------------------------------------------------------------------ #
+    def _roofline(self, name: str, flops: float, bytes_moved: float,
+                  min_time: float = 2e-6) -> OpCost:
+        compute_time = flops / self.hardware.gpu.effective_flops
+        memory_time = bytes_moved / self.hardware.gpu.hbm_bandwidth
+        return OpCost(name=name, flops=flops, bytes_moved=bytes_moved,
+                      time_s=max(compute_time, memory_time, min_time))
+
+    # ------------------------------------------------------------------ #
+    # attention module breakdown (Figure 11)
+    # ------------------------------------------------------------------ #
+    def attention_breakdown(self, batch_size: int, kv_len: int,
+                            kept_kv: int | None = None,
+                            local_window: int = 0,
+                            query_len: int = 1) -> AttentionBreakdown:
+        """Cost of a single attention-module call, operator by operator.
+
+        ``kept_kv`` is the number of KV tokens that actually participate
+        (``None`` means dense attention over all ``kv_len`` tokens);
+        ``local_window`` is the number of recent attention rows summed by
+        SWA's local attention sum (0 disables the extra SWA operators).
+        """
+        if kv_len <= 0 or batch_size <= 0 or query_len <= 0:
+            raise ConfigurationError("batch_size, kv_len, query_len must be positive")
+        kept = kv_len if kept_kv is None else min(kept_kv, kv_len)
+        h = self.config.hidden_size
+        heads = self.config.num_heads
+        width = self.bytes_per_element
+        b, q = batch_size, query_len
+
+        breakdown = AttentionBreakdown()
+
+        # QKV projection of the new token(s).
+        breakdown.add(self._roofline(
+            "qkv_proj",
+            flops=2.0 * 3.0 * b * q * h * h,
+            bytes_moved=3.0 * h * h * width + 4.0 * b * q * h * width,
+        ))
+
+        if local_window > 0:
+            # SWA local attention sum: add `local_window` rows of length kv_len
+            # per head (vector adds, very low arithmetic intensity).  These and
+            # the gather below are small kernel-launch-bound ops, hence the
+            # larger floor time (the Figure 11 overhead).
+            breakdown.add(self._roofline(
+                "local_attention_sum",
+                flops=1.0 * b * heads * local_window * kv_len,
+                bytes_moved=b * heads * local_window * kv_len * width,
+                min_time=10e-6,
+            ))
+            # Gather sparse KV tensors into a packed dense tensor.
+            breakdown.add(self._roofline(
+                "sparse_kv_gather",
+                flops=0.0,
+                bytes_moved=2.0 * 2.0 * b * kept * h * width,
+                min_time=10e-6,
+            ))
+
+        # QK^T over the kept tokens.
+        breakdown.add(self._roofline(
+            "qk_matmul",
+            flops=2.0 * b * q * kept * h,
+            bytes_moved=(b * kept * h + b * q * h + b * heads * q * kept) * width,
+        ))
+        # Softmax over the attention weights.
+        breakdown.add(self._roofline(
+            "softmax",
+            flops=5.0 * b * heads * q * kept,
+            bytes_moved=2.0 * b * heads * q * kept * width,
+        ))
+        # Attention-weight x V.
+        breakdown.add(self._roofline(
+            "av_matmul",
+            flops=2.0 * b * q * kept * h,
+            bytes_moved=(b * kept * h + b * q * h) * width,
+        ))
+        # Output projection.
+        breakdown.add(self._roofline(
+            "out_proj",
+            flops=2.0 * b * q * h * h,
+            bytes_moved=(h * h + 2.0 * b * q * h) * width,
+        ))
+        return breakdown
+
+    # ------------------------------------------------------------------ #
+    # block- and step-level times
+    # ------------------------------------------------------------------ #
+    def attention_time(self, batch_size: int, kv_len: int,
+                       kept_kv: int | None = None, local_window: int = 0,
+                       query_len: int = 1) -> float:
+        return self.attention_breakdown(
+            batch_size, kv_len, kept_kv, local_window, query_len
+        ).total_time
+
+    def ffn_time(self, batch_size: int, query_len: int = 1) -> float:
+        h = self.config.hidden_size
+        f = self.config.ffn_size
+        flops = 2.0 * 2.0 * batch_size * query_len * h * f
+        bytes_moved = (2.0 * h * f + 2.0 * batch_size * query_len * (h + f)) \
+            * self.bytes_per_element
+        return self._roofline("ffn", flops, bytes_moved).time_s
+
+    def decode_layer_time(self, batch_size: int, kv_len: int,
+                          kept_kv: int | None = None,
+                          local_window: int = 0) -> float:
+        """Compute time of one transformer layer for one decoding step."""
+        return (self.attention_time(batch_size, kv_len, kept_kv, local_window)
+                + self.ffn_time(batch_size))
+
+    def decode_step_time(self, batch_size: int, kv_len: int,
+                         kept_kv: int | None = None,
+                         local_window: int = 0) -> float:
+        """GPU compute time of one decoding step across all layers."""
+        return self.config.num_layers * self.decode_layer_time(
+            batch_size, kv_len, kept_kv, local_window
+        )
+
+    def prefill_time(self, batch_size: int, prompt_len: int) -> float:
+        """GPU compute time of the prefilling stage (dense attention)."""
+        total = 0.0
+        attention = self.attention_time(batch_size, prompt_len,
+                                        query_len=prompt_len)
+        ffn = self.ffn_time(batch_size, query_len=prompt_len)
+        total = self.config.num_layers * (attention + ffn)
+        return total
+
+    def recompute_time(self, batch_size: int, num_tokens: int,
+                       num_layers: int | None = None) -> float:
+        """Time to recompute the K and V projections of ``num_tokens`` tokens.
+
+        This is the cost Phase III pays instead of reloading those tokens'
+        KV tensors from CPU memory (the ``T^r`` term of Equation 5).
+        """
+        if num_tokens <= 0:
+            return 0.0
+        h = self.config.hidden_size
+        layers = self.config.num_layers if num_layers is None else num_layers
+        flops = 2.0 * 2.0 * batch_size * num_tokens * h * h  # K and V projections
+        bytes_moved = (2.0 * h * h + 3.0 * batch_size * num_tokens * h) \
+            * self.bytes_per_element
+        return layers * self._roofline("recompute_kv", flops, bytes_moved).time_s
+
+    def quantize_time(self, batch_size: int, num_tokens: int) -> float:
+        """Time to (de)quantize the KV tensors of ``num_tokens`` tokens."""
+        if num_tokens <= 0:
+            return 0.0
+        elements = 2.0 * batch_size * num_tokens * self.config.hidden_size \
+            * self.config.num_layers
+        return self._roofline("kv_quantize", flops=2.0 * elements,
+                              bytes_moved=3.0 * elements).time_s
+
+    def cpu_attention_time(self, batch_size: int, cpu_tokens: float,
+                           kv_dtype: str | None = None,
+                           efficiency: float = 0.5) -> float:
+        """Time to compute attention over CPU-resident KV tensors on the CPU.
+
+        FlexGen computes attention next to the data when KV tensors live in
+        CPU memory (moving the whole cache over PCIe every step would be far
+        slower).  Attention is memory-bound, so the cost is the CPU-resident
+        KV bytes divided by the attainable DRAM bandwidth.
+        """
+        if cpu_tokens <= 0:
+            return 0.0
+        kv_bytes = self.kv_bytes_per_token(batch_size, kv_dtype) * cpu_tokens
+        flop_time = (4.0 * batch_size * cpu_tokens * self.config.hidden_size
+                     * self.config.num_layers) / self.hardware.cpu.flops
+        bandwidth = self.hardware.cpu.dram_bandwidth * efficiency
+        return max(kv_bytes / bandwidth, flop_time)
+
+    def pcie_time(self, num_bytes: float) -> float:
+        """One-way PCIe transfer time for ``num_bytes`` (Equation 3)."""
+        if num_bytes < 0:
+            raise ConfigurationError("transfer size must be non-negative")
+        if num_bytes == 0:
+            return 0.0
+        return num_bytes / self.hardware.pcie_bandwidth

@@ -1,0 +1,204 @@
+"""Shared skeleton for system-level inference simulators.
+
+Every system the paper compares (ALISA, FlexGen, vLLM, HuggingFace
+Accelerate, DeepSpeed-ZeRO, plus a GPU-only reference) is expressed as a
+*placement policy* over the same substrate: the analytic cost model charges
+GPU compute, the memory hierarchy tracks capacity and raises OOM, and the
+PCIe link charges every byte moved between CPU and GPU.
+
+A concrete system implements two hooks:
+
+* :meth:`InferenceSimulator.plan_prefill` — where the prompt's KV tensors go;
+* :meth:`InferenceSimulator.plan_decode_step` — what moves at each step.
+
+Both return a :class:`SystemStepPlan`; the base class turns plans into
+:class:`~repro.systems.trace.StepTiming` records and an
+:class:`~repro.systems.trace.InferenceTrace`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro._common import OutOfMemoryError, dtype_bytes
+from repro.hardware.presets import HardwareSpec
+from repro.model.config import ModelConfig, get_config
+from repro.systems.cost import LLMCostModel
+from repro.systems.memory import MemoryHierarchy
+from repro.systems.trace import InferenceTrace, StepTiming
+from repro.workloads.descriptors import Workload
+
+WEIGHTS = "weights"
+ACTIVATIONS = "activations"
+KV_GPU = "kv-cache"
+KV_CPU = "kv-cache"
+
+
+@dataclass(frozen=True)
+class SystemStepPlan:
+    """Placement and movement decisions for one step of a simulated system."""
+
+    phase: str
+    kv_gpu_tokens: float
+    kv_cpu_tokens: float
+    kept_kv: int | None = None
+    local_window: int = 0
+    load_kv_tokens: float = 0.0
+    offload_kv_tokens: float = 0.0
+    recompute_tokens: float = 0.0
+    quantize_tokens: float = 0.0
+    cpu_attention_tokens: float = 0.0
+    extra_h2d_bytes: float = 0.0
+    extra_overhead_s: float = 0.0
+
+
+class InferenceSimulator(ABC):
+    """Base class: runs the prefill + decode loop over step plans."""
+
+    #: Display name used in experiment tables.
+    name: str = "base"
+
+    #: Whether the system overlaps PCIe transfers with GPU compute (FlexGen,
+    #: vLLM, and ALISA pipeline I/O against compute layer by layer; naive
+    #: offloading does not).  When enabled, only the *exposed* transfer time
+    #: (the part not hidden behind compute) is charged to the step.
+    overlap_io: bool = False
+
+    def __init__(self, model: ModelConfig | str, hardware: HardwareSpec,
+                 compute_dtype: str = "fp16", kv_dtype: str = "fp16",
+                 weights_on_gpu: bool = True) -> None:
+        self.config = get_config(model) if isinstance(model, str) else model
+        self.hardware = hardware
+        self.cost_model = LLMCostModel(self.config, hardware, compute_dtype)
+        self.kv_dtype = kv_dtype
+        self.weights_on_gpu = weights_on_gpu
+
+    # ------------------------------------------------------------------ #
+    # hooks for concrete systems
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def plan_prefill(self, workload: Workload) -> SystemStepPlan:
+        """Place the prompt's KV tensors after the prefilling stage."""
+
+    @abstractmethod
+    def plan_decode_step(self, step: int, workload: Workload) -> SystemStepPlan:
+        """Plan decoding step ``step`` (0-based)."""
+
+    def prepare(self, workload: Workload) -> None:
+        """Reset any per-run state before a simulation (optional hook)."""
+
+    # ------------------------------------------------------------------ #
+    # shared machinery
+    # ------------------------------------------------------------------ #
+    def kv_token_bytes(self, workload: Workload) -> float:
+        """Bytes of one token's KV tensors across layers and batch."""
+        return self.cost_model.kv_bytes_per_token(workload.batch_size,
+                                                  self.kv_dtype)
+
+    def _apply_memory(self, plan: SystemStepPlan, workload: Workload,
+                      memory: MemoryHierarchy) -> None:
+        per_token = self.kv_token_bytes(workload)
+        memory.gpu.resize(KV_GPU, plan.kv_gpu_tokens * per_token)
+        memory.cpu.resize(KV_CPU, plan.kv_cpu_tokens * per_token)
+
+    def _transfer_time(self, plan: SystemStepPlan, workload: Workload,
+                       memory: MemoryHierarchy) -> float:
+        per_token = self.kv_token_bytes(workload)
+        time = 0.0
+        time += memory.link.host_to_device(plan.load_kv_tokens * per_token
+                                           + plan.extra_h2d_bytes)
+        time += memory.link.device_to_host(plan.offload_kv_tokens * per_token)
+        return time
+
+    def run(self, workload: Workload) -> InferenceTrace:
+        """Simulate one end-to-end inference run of ``workload``."""
+        memory = MemoryHierarchy.from_hardware(self.hardware)
+        trace = InferenceTrace(
+            system=self.name, model=self.config.name,
+            batch_size=workload.batch_size, input_len=workload.input_len,
+            output_len=workload.output_len,
+            metadata={"hardware": self.hardware.name, "kv_dtype": self.kv_dtype},
+        )
+        self.prepare(workload)
+        per_token = self.kv_token_bytes(workload)
+        try:
+            self._allocate_static(workload, memory)
+
+            prefill_plan = self.plan_prefill(workload)
+            prefill_compute = self.cost_model.prefill_time(
+                workload.batch_size, workload.input_len
+            )
+            prefill_transfer = self._transfer_time(prefill_plan, workload, memory)
+            self._apply_memory(prefill_plan, workload, memory)
+            trace.prefill_time = (prefill_compute + prefill_transfer
+                                  + prefill_plan.extra_overhead_s)
+
+            for step in range(workload.output_len):
+                plan = self.plan_decode_step(step, workload)
+                seq_len = workload.input_len + step + 1
+                compute = self.cost_model.decode_step_time(
+                    workload.batch_size, kv_len=seq_len, kept_kv=plan.kept_kv,
+                    local_window=plan.local_window,
+                )
+                transfer = self._transfer_time(plan, workload, memory)
+                recompute = self.cost_model.recompute_time(
+                    workload.batch_size, int(round(plan.recompute_tokens))
+                )
+                if self.overlap_io:
+                    transfer = max(0.0, transfer - compute - recompute)
+                if plan.cpu_attention_tokens > 0:
+                    # Attention over CPU-resident KV is computed CPU-side and
+                    # sits on the critical path (counted as KV-caching time).
+                    transfer += self.cost_model.cpu_attention_time(
+                        workload.batch_size, plan.cpu_attention_tokens,
+                        self.kv_dtype,
+                    )
+                overhead = plan.extra_overhead_s
+                if plan.quantize_tokens > 0:
+                    overhead += self.cost_model.quantize_time(
+                        workload.batch_size, int(round(plan.quantize_tokens))
+                    )
+                self._apply_memory(plan, workload, memory)
+                trace.add_step(StepTiming(
+                    step=step, sequence_length=seq_len, phase=plan.phase,
+                    compute_time=compute, transfer_time=transfer,
+                    recompute_time=recompute, overhead_time=overhead,
+                    gpu_kv_bytes=plan.kv_gpu_tokens * per_token,
+                    cpu_kv_bytes=plan.kv_cpu_tokens * per_token,
+                    gpu_used_bytes=memory.gpu.used_bytes,
+                    cpu_used_bytes=memory.cpu.used_bytes,
+                    bytes_offloaded=plan.offload_kv_tokens * per_token,
+                    bytes_reloaded=plan.load_kv_tokens * per_token,
+                ))
+        except OutOfMemoryError as exc:
+            trace.oom = True
+            trace.oom_reason = str(exc)
+        return trace
+
+    # ------------------------------------------------------------------ #
+    def _allocate_static(self, workload: Workload,
+                         memory: MemoryHierarchy) -> None:
+        """Allocate weights and activations before any KV tensors."""
+        weight_bytes = self.cost_model.weight_bytes()
+        if self.weights_on_gpu:
+            memory.gpu.allocate(WEIGHTS, weight_bytes)
+        else:
+            memory.cpu.allocate(WEIGHTS, weight_bytes)
+        memory.gpu.allocate(
+            ACTIVATIONS,
+            self.cost_model.activation_bytes(workload.batch_size,
+                                             workload.input_len),
+        )
+
+    # ------------------------------------------------------------------ #
+    def gpu_kv_budget_tokens(self, workload: Workload,
+                             reserve_fraction: float = 0.05) -> int:
+        """Number of KV tokens that fit on the GPU next to weights/activations."""
+        capacity = self.hardware.gpu.memory_bytes * (1.0 - reserve_fraction)
+        if self.weights_on_gpu:
+            capacity -= self.cost_model.weight_bytes()
+        capacity -= self.cost_model.activation_bytes(workload.batch_size,
+                                                     workload.input_len)
+        per_token = self.kv_token_bytes(workload)
+        return max(1, int(capacity // per_token)) if capacity > 0 else 1

@@ -1,0 +1,41 @@
+"""Workload descriptors and synthetic dataset generators."""
+
+from repro.workloads.corpus import sample_prompts, zipf_prompt_batch, zipf_token_stream
+from repro.workloads.descriptors import (
+    ALPACA_WORKLOAD,
+    FIGURE1_WORKLOADS,
+    FIGURE9_BATCH_SIZES,
+    Workload,
+    alpaca_batch_sweep,
+)
+from repro.workloads.recall import (
+    ALL_DATASETS,
+    LM_DATASETS,
+    QA_DATASETS,
+    RecallDataset,
+    RecallSequence,
+    RecallTaskConfig,
+    generate_recall_dataset,
+    generate_recall_sequence,
+    get_dataset_config,
+)
+
+__all__ = [
+    "ALL_DATASETS",
+    "ALPACA_WORKLOAD",
+    "FIGURE1_WORKLOADS",
+    "FIGURE9_BATCH_SIZES",
+    "LM_DATASETS",
+    "QA_DATASETS",
+    "RecallDataset",
+    "RecallSequence",
+    "RecallTaskConfig",
+    "Workload",
+    "alpaca_batch_sweep",
+    "generate_recall_dataset",
+    "generate_recall_sequence",
+    "get_dataset_config",
+    "sample_prompts",
+    "zipf_prompt_batch",
+    "zipf_token_stream",
+]

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.presets import H100_80GB_NODE, V100_16GB_NODE, V100_32GB_NODE
+from repro.model.builder import build_random_model
+from repro.model.config import get_config
+from repro.model.constructed import build_recall_model
+from repro.systems.cost import LLMCostModel
+from repro.workloads.descriptors import Workload
+from repro.workloads.recall import QA_DATASETS, generate_recall_dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_random_model():
+    """A small randomly initialized executable model."""
+    return build_random_model("opt-tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def recall_model():
+    """The constructed retrieval model (mid-size stand-in)."""
+    return build_recall_model("opt-13b", seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_recall_dataset():
+    """A small QA recall dataset (2 sequences of the COPA stand-in)."""
+    return generate_recall_dataset(QA_DATASETS["copa"].with_sequences(2), seed=0)
+
+
+@pytest.fixture(scope="session")
+def opt_cost_model():
+    """Cost model for OPT-6.7B on a V100-16GB node."""
+    return LLMCostModel(get_config("opt-6.7b"), V100_16GB_NODE)
+
+
+@pytest.fixture(scope="session")
+def opt30b_cost_model():
+    """Cost model for OPT-30B on an H100-80GB node."""
+    return LLMCostModel(get_config("opt-30b"), H100_80GB_NODE)
+
+
+@pytest.fixture
+def small_workload():
+    """A short workload that keeps simulator tests fast."""
+    return Workload(batch_size=8, input_len=64, output_len=32, name="test")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,264 @@
+"""Tests for the ALISA core algorithm: SWA, compression, attention policies."""
+
+import numpy as np
+import pytest
+
+from repro._common import ConfigurationError, softmax
+from repro.attention.base import SelectionBudget, ensure_last_token
+from repro.attention.variants import (
+    BeladyOraclePolicy,
+    DenseAttentionPolicy,
+    H2OAttentionPolicy,
+    LocalAttentionPolicy,
+    StridedAttentionPolicy,
+    SWAAttentionPolicy,
+    make_policy,
+)
+from repro.core.compression import (
+    QuantizationSpec,
+    dequantize,
+    quantization_error,
+    quantize,
+    roundtrip_kv,
+)
+from repro.core.swa import (
+    SWAConfig,
+    local_attention_window,
+    select_sparse_tokens,
+    sparse_window_attention,
+)
+
+
+class TestSWAConfig:
+    def test_sparsity_complement(self):
+        assert SWAConfig.from_sparsity(0.8).caching_ratio == pytest.approx(0.2)
+        assert SWAConfig(0.3).kv_sparsity == pytest.approx(0.7)
+
+    @pytest.mark.parametrize("seq_len", [4, 10, 100, 500])
+    def test_split_budget_within_bounds(self, seq_len):
+        config = SWAConfig.from_sparsity(0.8)
+        local, global_ = config.split_budget(seq_len)
+        assert local >= 1
+        assert global_ >= 0
+        assert local + global_ <= seq_len
+
+    def test_split_budget_even_split(self):
+        local, global_ = SWAConfig(caching_ratio=0.5).split_budget(100)
+        assert local == global_ == 25
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SWAConfig(caching_ratio=1.5)
+
+    def test_local_attention_window_equals_local_budget(self):
+        config = SWAConfig.from_sparsity(0.6)
+        assert local_attention_window(200, config) == config.split_budget(200)[0]
+
+
+class TestSWASelection:
+    def test_local_indices_are_most_recent(self):
+        config = SWAConfig(caching_ratio=0.2)
+        selection = select_sparse_tokens(np.zeros(100), 100, config)
+        assert selection.local_indices.tolist() == list(range(90, 100))
+
+    def test_global_indices_pick_highest_local_sum(self):
+        config = SWAConfig(caching_ratio=0.2)
+        sums = np.zeros(100)
+        sums[[3, 7, 42]] = [5.0, 4.0, 3.0]
+        selection = select_sparse_tokens(sums, 100, config)
+        for idx in (3, 7, 42):
+            assert idx in selection.global_indices
+
+    def test_groups_are_disjoint(self):
+        config = SWAConfig(caching_ratio=0.5)
+        sums = np.arange(40, dtype=float)
+        selection = select_sparse_tokens(sums, 40, config)
+        assert not set(selection.local_indices) & set(selection.global_indices)
+
+    def test_total_respects_caching_ratio(self):
+        config = SWAConfig(caching_ratio=0.2)
+        selection = select_sparse_tokens(np.random.default_rng(0).random(200),
+                                         200, config)
+        assert selection.num_kept == pytest.approx(40, abs=2)
+
+    def test_short_sequence_keeps_everything(self):
+        selection = select_sparse_tokens(np.zeros(2), 2, SWAConfig(0.5))
+        assert selection.num_kept == 2
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ConfigurationError):
+            select_sparse_tokens(np.zeros(1), 0, SWAConfig(0.5))
+
+
+class TestSparseWindowAttention:
+    def test_full_ratio_matches_dense_attention(self, rng):
+        keys = rng.normal(size=(12, 8))
+        values = rng.normal(size=(12, 8))
+        query = rng.normal(size=8)
+        prev = rng.random(size=(4, 12))
+        scores, weights, selection = sparse_window_attention(
+            prev, query, keys, values, SWAConfig(caching_ratio=1.0))
+        dense_weights = softmax(query @ keys.T / np.sqrt(8))
+        assert selection.num_kept == 12
+        assert np.allclose(scores, dense_weights @ values)
+
+    def test_weights_normalized_over_kept_tokens(self, rng):
+        keys = rng.normal(size=(30, 4))
+        values = rng.normal(size=(30, 4))
+        query = rng.normal(size=4)
+        scores, weights, selection = sparse_window_attention(
+            np.zeros((0, 30)), query, keys, values, SWAConfig(0.2))
+        assert weights.shape[-1] == selection.num_kept
+        assert np.isclose(weights.sum(), 1.0)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            sparse_window_attention(np.zeros((1, 3)), rng.normal(size=4),
+                                    rng.normal(size=(3, 4)),
+                                    rng.normal(size=(4, 3)), SWAConfig(0.5))
+
+
+class TestSelectionBudget:
+    def test_num_kept_at_least_one(self):
+        assert SelectionBudget(0.01).num_kept(5) == 1
+
+    def test_num_kept_capped_at_seq_len(self):
+        assert SelectionBudget(1.0).num_kept(7) == 7
+
+    def test_from_sparsity(self):
+        assert SelectionBudget.from_sparsity(0.8).keep_ratio == pytest.approx(0.2)
+
+    def test_ensure_last_token(self):
+        out = ensure_last_token(np.array([0, 2]), 10)
+        assert 9 in out
+        assert sorted(out) == out.tolist()
+
+
+class TestPolicies:
+    def _observe_uniform(self, policy, layer, seq_len):
+        positions = np.arange(seq_len)
+        weights = np.full((1, 2, 1, seq_len), 1.0 / seq_len)
+        policy.observe(layer, positions, weights)
+
+    def test_dense_returns_none(self):
+        policy = DenseAttentionPolicy()
+        policy.reset(2)
+        assert policy.select(0, 50) is None
+
+    def test_dense_rejects_unknown_layer(self):
+        policy = DenseAttentionPolicy()
+        policy.reset(2)
+        with pytest.raises(ConfigurationError):
+            policy.select(5, 10)
+
+    def test_policy_requires_reset(self):
+        policy = LocalAttentionPolicy(SelectionBudget(0.5))
+        with pytest.raises(ConfigurationError):
+            policy.select(0, 10)
+
+    def test_local_keeps_most_recent(self):
+        policy = LocalAttentionPolicy(SelectionBudget(0.25))
+        policy.reset(1)
+        assert policy.select(0, 40).tolist() == list(range(30, 40))
+
+    def test_strided_budget_and_last_token(self):
+        policy = StridedAttentionPolicy(SelectionBudget(0.25))
+        policy.reset(1)
+        selected = policy.select(0, 40)
+        assert len(selected) <= 11
+        assert 39 in selected
+
+    @pytest.mark.parametrize("name", ["dense", "local", "strided", "h2o", "swa"])
+    def test_factory_builds_each_policy(self, name):
+        policy = make_policy(name, kv_sparsity=0.5)
+        policy.reset(3)
+        assert policy.name == name
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("belady-magic")
+
+    def test_h2o_keeps_heavy_hitters(self):
+        policy = H2OAttentionPolicy(SelectionBudget(0.2))
+        policy.reset(1)
+        seq_len = 50
+        weights = np.zeros((1, 1, 1, seq_len))
+        weights[..., 5] = 0.9  # heavy hitter at position 5
+        weights[..., -1] = 0.1
+        for _ in range(3):
+            policy.observe(0, np.arange(seq_len), weights)
+        assert 5 in policy.select(0, seq_len)
+
+    def test_swa_keeps_recently_attended_global_token(self):
+        policy = SWAAttentionPolicy(SWAConfig(caching_ratio=0.2))
+        policy.reset(1)
+        seq_len = 100
+        weights = np.zeros((1, 1, 1, seq_len))
+        weights[..., 7] = 0.8
+        policy.observe(0, np.arange(seq_len), weights)
+        assert 7 in policy.select(0, seq_len)
+
+    def test_swa_selection_size_tracks_ratio(self):
+        policy = SWAAttentionPolicy(SWAConfig(caching_ratio=0.2))
+        policy.reset(1)
+        self._observe_uniform(policy, 0, 200)
+        assert len(policy.select(0, 200)) <= 0.25 * 200
+
+    def test_observing_policy_validates_shapes(self):
+        policy = H2OAttentionPolicy(SelectionBudget(0.5))
+        policy.reset(1)
+        with pytest.raises(ConfigurationError):
+            policy.observe(0, np.arange(3), np.zeros((1, 1, 3)))
+
+    def test_belady_uses_future_attention(self):
+        future = {0: np.zeros((20, 20))}
+        future[0][15:, 3] = 1.0  # position 3 heavily used in the future
+        policy = BeladyOraclePolicy(SelectionBudget(0.2), future)
+        policy.reset(1)
+        assert 3 in policy.select(0, 10)
+
+
+class TestCompression:
+    def test_roundtrip_error_small_for_int8(self, rng):
+        x = rng.normal(size=(32, 16))
+        assert quantization_error(x, QuantizationSpec(8)) < 0.01
+
+    def test_int4_worse_than_int8(self, rng):
+        x = rng.normal(size=(64, 8))
+        assert (quantization_error(x, QuantizationSpec(4))
+                > quantization_error(x, QuantizationSpec(8)))
+
+    def test_codes_within_level_range(self, rng):
+        q = quantize(rng.normal(size=(10, 4)), QuantizationSpec(8))
+        assert q.codes.max() <= 255 and q.codes.min() >= 0
+
+    def test_compression_ratio(self):
+        assert QuantizationSpec(8).compression_ratio(2.0) == 2.0
+        assert QuantizationSpec(4).compression_ratio(2.0) == 4.0
+
+    def test_dequantize_restores_shape(self, rng):
+        x = rng.normal(size=(3, 5, 7))
+        assert dequantize(quantize(x)).shape == x.shape
+
+    def test_channel_axis_handling(self, rng):
+        # Columns span four orders of magnitude: per-column (axis=-1) scales
+        # must beat per-row (axis=0) scales, which mix the magnitudes.
+        x = rng.normal(size=(6, 4)) * np.array([1.0, 10.0, 100.0, 1000.0])
+        err_per_column = quantization_error(x, QuantizationSpec(8, channel_axis=-1))
+        err_per_row = quantization_error(x, QuantizationSpec(8, channel_axis=0))
+        assert err_per_column < err_per_row
+
+    def test_constant_channel_error_within_one_step(self):
+        x = np.full((4, 3), 2.5)
+        assert np.allclose(dequantize(quantize(x)), x, atol=1.0 / 255)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuantizationSpec(num_bits=3)
+
+    def test_roundtrip_kv_returns_pair(self, rng):
+        keys = rng.normal(size=(1, 4, 2, 8))
+        values = rng.normal(size=(1, 4, 2, 8))
+        dk, dv = roundtrip_kv(keys, values)
+        assert dk.shape == keys.shape and dv.shape == values.shape
+        assert np.allclose(dk, keys, atol=0.05)

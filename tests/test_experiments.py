@@ -1,0 +1,201 @@
+"""Integration tests: every experiment driver runs and reproduces the
+paper's qualitative shape (who wins, orderings, crossovers)."""
+
+import pytest
+
+from repro.experiments import list_experiments, run_experiment
+from repro.experiments.base import ExperimentResult
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        names = set(list_experiments())
+        expected = {
+            "fig01_motivation", "fig02_kv_caching", "fig03_sparsity",
+            "fig04_distributions", "fig05_attention_maps", "fig08_accuracy",
+            "fig09_throughput", "fig10_attainable_sparsity",
+            "fig11_attention_breakdown", "fig12_breakdown",
+        }
+        assert expected <= names
+
+    def test_unknown_experiment_raises(self):
+        from repro._common import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99_unknown")
+
+    def test_result_table_rendering(self):
+        result = ExperimentResult("demo", "demo")
+        result.add(a=1, b=2.5)
+        table = result.to_table()
+        assert "a" in table and "2.5" in table
+
+
+class TestFig01:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig01_motivation", output_len=256)
+
+    def test_cpu_offload_slower_than_gpu_only(self, result):
+        rows = result.filter(workload="workload-1")
+        by_placement = {r["placement"]: r for r in rows}
+        assert (by_placement["cpu-50%"]["total_time_s"]
+                > by_placement["gpu-only"]["total_time_s"])
+        assert (by_placement["cpu-100%"]["total_time_s"]
+                > by_placement["cpu-50%"]["total_time_s"])
+
+    def test_large_workload_ooms_on_gpu_only(self, result):
+        rows = result.filter(workload="workload-3", placement="gpu-only")
+        assert rows[0]["oom"]
+
+    def test_memory_access_dominates_when_offloading(self, result):
+        row = result.filter(workload="workload-2", placement="cpu-100%")[0]
+        assert row["memory_access_time_s"] > row["compute_time_s"]
+
+
+class TestFig02:
+    def test_kv_caching_faster_and_memory_grows(self):
+        result = run_experiment("fig02_kv_caching", num_steps=64, stride=16)
+        for row in result.rows:
+            assert row["with_cache_time_s"] < row["without_cache_time_s"]
+        kv = result.column("with_cache_kv_gb")
+        assert kv == sorted(kv)
+
+
+class TestFig03:
+    def test_attention_is_sparse_and_larger_model_sparser(self):
+        result = run_experiment("fig03_sparsity", prompt_len=32, num_steps=8)
+        small = result.notes["opt-6.7b_mean_sparsity"]
+        large = result.notes["opt-30b_mean_sparsity"]
+        assert small > 0.6
+        assert large > small
+
+
+class TestFig04:
+    def test_swa_correlates_with_dense_better_than_local_strided(self):
+        result = run_experiment("fig04_distributions", prompt_len=32,
+                                num_steps=32)
+        rho = {row["policy"]: row["spearman_rho"] for row in result.rows}
+        assert rho["dense"] == pytest.approx(1.0)
+        assert rho["swa"] > 0.6
+        assert rho["swa"] > rho["local"]
+        assert rho["swa"] > rho["strided"]
+
+
+class TestFig05:
+    def test_attention_map_is_causal_and_normalized(self):
+        result = run_experiment("fig05_attention_maps", seq_len=8)
+        assert all(row["key_position"] <= row["query_position"]
+                   for row in result.rows)
+        first_row_weight = [r["weight"] for r in result.rows
+                            if r["query_position"] == 0]
+        assert first_row_weight[0] == pytest.approx(1.0)
+
+
+class TestFig08:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig08_accuracy", models=("opt-13b",),
+                              datasets=("copa",), sparsities=(0.0, 0.8),
+                              num_sequences=2)
+
+    def test_swa_tracks_dense_at_80pct_sparsity(self, result):
+        dense = result.filter(policy="dense")[0]["accuracy"]
+        swa = result.filter(policy="swa", kv_sparsity=0.8, compressed=False)
+        assert swa[0]["accuracy"] >= dense - 0.2
+
+    def test_local_collapses_at_80pct_sparsity(self, result):
+        swa = result.filter(policy="swa", kv_sparsity=0.8, compressed=False)[0]
+        local = result.filter(policy="local", kv_sparsity=0.8)[0]
+        assert local["accuracy"] < swa["accuracy"]
+
+    def test_compression_has_negligible_impact(self, result):
+        swa = result.filter(policy="swa", kv_sparsity=0.8, compressed=False)[0]
+        alisa = result.filter(policy="swa", kv_sparsity=0.8, compressed=True)[0]
+        assert abs(alisa["accuracy"] - swa["accuracy"]) <= 0.1
+
+
+class TestFig09:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig09_throughput", models=("opt-6.7b",),
+                              batch_sizes=(4, 32), output_len=128)
+
+    def test_alisa_beats_flexgen_and_vllm_at_large_batch(self, result):
+        alisa = result.filter(system="alisa", batch_size=32)[0]
+        assert alisa["speedup_vs_flexgen"] > 1.2
+        assert alisa["speedup_vs_vllm"] > 1.0
+
+    def test_vllm_competitive_at_small_batch(self, result):
+        alisa = result.filter(system="alisa", batch_size=4)[0]
+        assert alisa["speedup_vs_vllm"] <= 1.1
+
+    def test_speedup_grows_with_batch_size(self, result):
+        small = result.filter(system="alisa", batch_size=4)[0]["speedup_vs_flexgen"]
+        large = result.filter(system="alisa", batch_size=32)[0]["speedup_vs_flexgen"]
+        assert large > small
+
+    def test_deepspeed_is_slowest_non_oom(self, result):
+        rows = [r for r in result.filter(batch_size=4) if not r["oom"]]
+        slowest = min(rows, key=lambda r: r["throughput_tokens_per_s"])
+        assert slowest["system"] == "deepspeed-zero"
+
+
+class TestFig10:
+    def test_attention_sparsity_increases_with_kv_sparsity(self):
+        result = run_experiment("fig10_attainable_sparsity", prompt_len=32,
+                                num_steps=8, kv_sparsities=(0.0, 0.8))
+        for model in ("opt-6.7b", "opt-30b"):
+            rows = sorted(result.filter(model=model),
+                          key=lambda r: r["kv_sparsity"])
+            assert rows[-1]["attention_sparsity"] > rows[0]["attention_sparsity"]
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig11_attention_breakdown", models=("opt-6.7b",
+                                                                   "opt-30b"))
+
+    def test_higher_sparsity_reduces_attention_time(self, result):
+        totals = {row["configuration"]: row["time_us"]
+                  for row in result.filter(model="opt-6.7b", op="total")}
+        assert totals["swa-80%"] < totals["dense"]
+        assert totals["swa-80%"] <= totals["swa-50%"]
+
+    def test_swa_overhead_ops_present(self, result):
+        ops = {row["op"] for row in result.filter(model="opt-6.7b",
+                                                  configuration="swa-80%")}
+        assert {"local_attention_sum", "sparse_kv_gather"} <= ops
+
+    def test_larger_model_has_larger_overhead(self, result):
+        small = result.filter(model="opt-6.7b", configuration="swa-80%",
+                              op="local_attention_sum")[0]["time_us"]
+        large = result.filter(model="opt-30b", configuration="swa-80%",
+                              op="local_attention_sum")[0]["time_us"]
+        assert large >= small
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig12_breakdown", output_len=256,
+                              kv_sparsities=(0.8,))
+
+    def test_alisa_faster_than_flexgen_in_every_phase(self, result):
+        flexgen_time = sum(r["time_s"] for r in
+                           result.filter(series="phase_breakdown",
+                                         system="flexgen"))
+        alisa_time = sum(r["time_s"] for r in
+                         result.filter(series="phase_breakdown", system="alisa"))
+        assert alisa_time < flexgen_time
+
+    def test_recomputation_helps(self, result):
+        row = result.filter(series="recomputation")[0]
+        assert row["recompute_speedup"] >= 1.0
+
+    def test_ablation_monotone_improvement(self, result):
+        speedups = {r["system"]: r["speedup_vs_flexgen"]
+                    for r in result.filter(series="ablation")}
+        assert (speedups["swa_only"] <= speedups["swa_ds"]
+                <= speedups["swa_ds_compression"])
+        assert speedups["swa_ds_compression"] > 1.0

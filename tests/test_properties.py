@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._common import round_half_up, softmax
+from repro.core.compression import QuantizationSpec, dequantize, quantize
+from repro.core.scheduler import DynamicScheduler, SchedulerConfig
+from repro.core.swa import SWAConfig, select_sparse_tokens
+from repro.kvcache.cache import LayerKVCache
+from repro.systems.memory import MemoryDevice, PCIeLink
+
+
+@st.composite
+def swa_cases(draw):
+    seq_len = draw(st.integers(min_value=1, max_value=300))
+    ratio = draw(st.floats(min_value=0.05, max_value=1.0))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    sums = np.random.default_rng(seed).random(seq_len)
+    return seq_len, ratio, sums
+
+
+class TestSWAProperties:
+    @given(swa_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_selection_invariants(self, case):
+        seq_len, ratio, sums = case
+        config = SWAConfig(caching_ratio=ratio)
+        selection = select_sparse_tokens(sums, seq_len, config)
+        indices = selection.indices
+        # Indices are unique, sorted, in range, and the newest token is kept.
+        assert len(set(indices.tolist())) == len(indices)
+        assert np.all(np.diff(indices) > 0)
+        assert indices.min() >= 0 and indices.max() < seq_len
+        assert seq_len - 1 in indices
+        # The kept count never exceeds the sequence length and tracks r.
+        assert selection.num_kept <= seq_len
+        assert selection.num_kept >= min(seq_len, 2)
+
+    @given(st.integers(min_value=1, max_value=500),
+           st.floats(min_value=0.01, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_split_budget_partition(self, seq_len, ratio, local_fraction):
+        config = SWAConfig(caching_ratio=ratio, local_fraction=local_fraction)
+        local, global_ = config.split_budget(seq_len)
+        assert 1 <= local <= seq_len
+        assert 0 <= global_ <= seq_len - local
+
+
+class TestQuantizationProperties:
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=2, max_value=6),
+           st.integers(min_value=2, max_value=32),
+           st.sampled_from([4, 8]))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_error_bounded_by_step(self, seed, rows, channels, bits):
+        x = np.random.default_rng(seed).normal(0, 3, size=(rows, channels))
+        spec = QuantizationSpec(num_bits=bits)
+        restored = dequantize(quantize(x, spec))
+        span = x.max(axis=0) - x.min(axis=0)
+        step = np.where(span > 0, span, 1.0) / (2**bits - 1)
+        # Error never exceeds one quantization step per element.
+        assert np.all(np.abs(restored - x) <= step + 1e-9)
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_quantization_idempotent(self, seed):
+        x = np.random.default_rng(seed).normal(size=(8, 4))
+        once = dequantize(quantize(x))
+        twice = dequantize(quantize(once))
+        assert np.allclose(once, twice, atol=1e-9)
+
+
+class TestSchedulerProperties:
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=0, max_value=60),
+           st.integers(min_value=0, max_value=120),
+           st.integers(min_value=20, max_value=400),
+           st.integers(min_value=16, max_value=256))
+    @settings(max_examples=60, deadline=None)
+    def test_placement_conserves_tokens(self, alpha, beta, p1, extra, budget,
+                                        prompt):
+        config = SchedulerConfig(offload_ratio=alpha, recompute_ratio=beta,
+                                 phase2_step=p1, phase3_step=p1 + extra)
+        scheduler = DynamicScheduler(config, SWAConfig.from_sparsity(0.8),
+                                     gpu_budget_tokens=budget, prompt_len=prompt)
+        scheduler.plan_prefill()
+        for j in range(80):
+            plan = scheduler.plan_step(j)
+            assert plan.tokens_gpu >= 0
+            assert plan.tokens_cpu >= 0
+            assert plan.tokens_deleted >= 0
+            assert (plan.tokens_gpu + plan.tokens_cpu + plan.tokens_deleted
+                    == prompt + j + 1)
+            assert plan.load_tokens >= 0
+            assert plan.recompute_tokens >= 0
+
+
+class TestMemoryProperties:
+    @given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                              st.floats(min_value=0, max_value=50)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_ledger_never_negative_and_bounded(self, operations):
+        device = MemoryDevice("gpu", 1000.0)
+        for label, size in operations:
+            device.resize(label, size)
+            assert 0 <= device.used_bytes <= 1000.0
+            assert device.peak_bytes >= device.used_bytes
+
+    @given(st.floats(min_value=1.0, max_value=1e12),
+           st.floats(min_value=0.0, max_value=1e9))
+    @settings(max_examples=60, deadline=None)
+    def test_transfer_time_monotone(self, bandwidth, num_bytes):
+        link = PCIeLink(bandwidth)
+        assert link.transfer_time(num_bytes) <= link.transfer_time(num_bytes + 1.0)
+
+
+class TestKVCacheProperties:
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_append_then_gather_roundtrip(self, batch, appends, seed):
+        generator = np.random.default_rng(seed)
+        cache = LayerKVCache(batch_size=batch, num_heads=2, head_dim=4)
+        expected_len = 0
+        for _ in range(appends):
+            new = generator.integers(1, 3)
+            keys = generator.normal(size=(batch, new, 2, 4))
+            values = generator.normal(size=(batch, new, 2, 4))
+            cache.append(keys, values)
+            expected_len += new
+        assert cache.seq_len == expected_len
+        idx = generator.integers(0, expected_len, size=min(3, expected_len))
+        gathered_k, gathered_v = cache.gather(idx)
+        assert gathered_k.shape == (batch, idx.size, 2, 4)
+        assert np.allclose(gathered_k, cache.keys[:, idx])
+
+
+class TestNumericsProperties:
+    @given(st.integers(min_value=0, max_value=300),
+           st.integers(min_value=2, max_value=40))
+    @settings(max_examples=60, deadline=None)
+    def test_softmax_is_distribution(self, seed, size):
+        x = np.random.default_rng(seed).normal(0, 10, size=size)
+        out = softmax(x)
+        assert np.all(out >= 0)
+        assert np.isclose(out.sum(), 1.0)
+
+    @given(st.floats(min_value=0, max_value=1e6))
+    @settings(max_examples=60, deadline=None)
+    def test_round_half_up_close_to_value(self, value):
+        assert abs(round_half_up(value) - value) <= 0.5
