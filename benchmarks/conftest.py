@@ -10,7 +10,22 @@ inspected from the pytest-benchmark JSON output.
 
 from __future__ import annotations
 
+import pathlib
+
 import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark everything under ``benchmarks/`` with the ``bench`` marker.
+
+    Tier-1 CI deselects these with ``-m "not bench"`` so the fast suite
+    stays fast; a full ``pytest`` run still includes them.
+    """
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture

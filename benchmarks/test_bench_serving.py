@@ -1,0 +1,30 @@
+"""Benchmark regenerating the online serving rate sweep (Section VI, online)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="serving")
+def test_bench_serving_rate_sweep(benchmark, record_rows):
+    result = benchmark(run_experiment, "serving_rate_sweep",
+                       rates=(4.0, 16.0), num_requests=16,
+                       input_len=256, output_len=128)
+    record_rows(benchmark, result)
+    alisa = result.filter(system="alisa", rate_req_per_s=16.0)[0]
+    vllm = result.filter(system="vllm", rate_req_per_s=16.0)[0]
+    assert alisa["p99_ttft_s"] <= vllm["p99_ttft_s"]
+    assert alisa["goodput_tokens_per_s"] >= vllm["goodput_tokens_per_s"]
+
+
+@pytest.mark.benchmark(group="serving")
+def test_bench_serving_bursty_sharegpt(benchmark, record_rows):
+    result = benchmark(run_experiment, "serving_rate_sweep",
+                       rates=(8.0,), num_requests=16, pattern="bursty",
+                       input_len=None, output_len=None)
+    record_rows(benchmark, result)
+    for row in result.rows:
+        assert row["num_requests"] == 16
+        assert row["throughput_tokens_per_s"] > 0

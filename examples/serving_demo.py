@@ -1,0 +1,42 @@
+"""Online serving demo: continuous batching of ALISA versus baselines.
+
+Generates a deterministic Poisson arrival trace of Alpaca-shaped requests,
+serves it through the continuous-batching engine on top of FlexGen, vLLM,
+and ALISA simulators, and prints tail latency (TTFT/TPOT), throughput, and
+SLO goodput at several arrival rates.  At low rates every system idles
+between requests and ties; as the rate grows, ALISA's INT8 KV cache admits
+roughly twice as many concurrent requests, so its queueing delay — and with
+it p99 TTFT — stays flat long after the baselines saturate.
+
+Run with:  python examples/serving_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+RATES = (1.0, 4.0, 16.0)
+COLUMNS = ("p50_ttft_s", "p99_ttft_s", "p50_tpot_s",
+           "throughput_tokens_per_s", "goodput_tokens_per_s")
+
+
+def main() -> None:
+    result = run_experiment("serving_rate_sweep", model="opt-6.7b",
+                            rates=RATES, num_requests=24)
+    print("# Continuous-batching serving: OPT-6.7B, Poisson arrivals, "
+          "24 requests (s=256, n=256)")
+    print(f"SLOs: TTFT <= {result.notes['ttft_slo_s']}s, "
+          f"TPOT <= {result.notes['tpot_slo_s']}s")
+    header = f"{'rate':>6s} {'system':>8s} " + " ".join(
+        f"{col:>24s}" for col in COLUMNS)
+    print(header)
+    for rate in RATES:
+        for row in result.filter(rate_req_per_s=rate):
+            cells = " ".join(f"{row[col]:>24.3f}" for col in COLUMNS)
+            print(f"{rate:>6.1f} {row['system']:>8s} {cells}")
+    print("\n(ALISA's compressed KV budget admits ~2x the concurrent "
+          "requests, flattening tail latency under load.)")
+
+
+if __name__ == "__main__":
+    main()

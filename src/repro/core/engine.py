@@ -158,7 +158,12 @@ class AlisaSystem(InferenceSimulator):
             )
 
         # Static ablation: fixed split, sparse attention, no recomputation.
+        # The CPU share of the cache grows with the sequence; only the newly
+        # offloaded tokens — this step's delta over the share resident after
+        # the previous step (prefill left `fraction * input_len` there) —
+        # cross PCIe and pay quantization.
         cpu_tokens = self._static_cpu_fraction * seq_len
+        newly_offloaded = cpu_tokens - self._static_cpu_fraction * (seq_len - 1)
         non_local = max(1, seq_len - num_local)
         cpu_fraction_of_candidates = min(1.0, cpu_tokens / non_local)
         load_tokens = num_global * cpu_fraction_of_candidates
@@ -169,8 +174,8 @@ class AlisaSystem(InferenceSimulator):
             kept_kv=kept,
             local_window=num_local,
             load_kv_tokens=load_tokens,
-            offload_kv_tokens=self._static_cpu_fraction,
-            quantize_tokens=self._quantized(load_tokens + self._static_cpu_fraction),
+            offload_kv_tokens=newly_offloaded,
+            quantize_tokens=self._quantized(load_tokens + newly_offloaded),
         )
 
     # ------------------------------------------------------------------ #

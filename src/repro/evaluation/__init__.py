@@ -14,8 +14,10 @@ from repro.evaluation.metrics import (
     answer_accuracy,
     geometric_mean,
     negative_perplexity,
+    percentiles,
     perplexity,
     relative_accuracy_drop,
+    serving_goodput,
     token_log_likelihoods,
 )
 from repro.evaluation.sparsity import (
@@ -39,9 +41,11 @@ __all__ = [
     "geometric_mean",
     "negative_perplexity",
     "per_layer_sparsity",
+    "percentiles",
     "perplexity",
     "relative_accuracy_drop",
     "score_distribution",
+    "serving_goodput",
     "spearman_correlation",
     "sparsity_over_steps",
     "sweep_sparsity",

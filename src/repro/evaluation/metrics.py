@@ -1,8 +1,10 @@
-"""Task metrics: perplexity, answer accuracy, throughput helpers.
+"""Task metrics: perplexity, answer accuracy, throughput and serving helpers.
 
 The paper reports negative perplexity for language modelling and accuracy
 for question answering (Figure 8, "higher is better" on both axes), and
-token throughput for the system experiments (Figure 9).
+token throughput for the system experiments (Figure 9).  The serving layer
+(Section VI generalized to online traffic) additionally reports tail-latency
+percentiles and SLO-conditioned goodput.
 """
 
 from __future__ import annotations
@@ -67,6 +69,37 @@ def relative_accuracy_drop(baseline: float, value: float) -> float:
     if baseline == 0:
         raise ConfigurationError("baseline metric must be non-zero")
     return (baseline - value) / abs(baseline)
+
+
+def percentiles(values, qs=(50, 90, 99)) -> dict[float, float]:
+    """Percentiles of ``values`` keyed by percentile rank.
+
+    Uses :func:`numpy.percentile`'s default linear interpolation, so the
+    serving reports match what any NumPy post-processing would compute.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("percentiles require at least one value")
+    return {float(q): float(np.percentile(arr, q)) for q in qs}
+
+
+def serving_goodput(records, duration_s: float, ttft_slo_s: float | None = None,
+                    tpot_slo_s: float | None = None) -> float:
+    """Generated tokens per second from requests that met their latency SLOs.
+
+    ``records`` are completed-request records exposing ``ttft``, ``tpot``,
+    and ``output_len`` (see :class:`repro.serving.trace.RequestRecord`); a
+    ``None`` SLO leaves that dimension unconstrained.  An empty record set or
+    non-positive ``duration_s`` yields 0 rather than dividing by zero.
+    """
+    if duration_s <= 0:
+        return 0.0
+    good_tokens = sum(
+        record.output_len for record in records
+        if (ttft_slo_s is None or record.ttft <= ttft_slo_s)
+        and (tpot_slo_s is None or record.tpot <= tpot_slo_s)
+    )
+    return good_tokens / duration_s
 
 
 def geometric_mean(values) -> float:

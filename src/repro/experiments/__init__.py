@@ -1,6 +1,11 @@
 """Experiment drivers, one per paper figure/table (see DESIGN.md)."""
 
-from repro.experiments import algorithm, motivation, system  # noqa: F401 (registration)
+from repro.experiments import (  # noqa: F401 (registration)
+    algorithm,
+    motivation,
+    serving,
+    system,
+)
 from repro.experiments.base import (
     ExperimentResult,
     list_experiments,

@@ -1,0 +1,19 @@
+"""Online serving layer: continuous batching over the system simulators.
+
+Generalizes the paper's offline Section VI protocol to multi-request
+serving: arrival traces (:mod:`repro.workloads.arrivals`) are driven through
+any :class:`~repro.systems.simulator.InferenceSimulator` by the
+:class:`ContinuousBatchingEngine`, producing per-request TTFT/TPOT/latency
+records in a :class:`ServingTrace`.
+"""
+
+from repro.serving.engine import ContinuousBatchingEngine
+from repro.serving.trace import RequestRecord, ServingTrace
+from repro.workloads.arrivals import Request
+
+__all__ = [
+    "ContinuousBatchingEngine",
+    "Request",
+    "RequestRecord",
+    "ServingTrace",
+]

@@ -1,0 +1,159 @@
+"""Per-request records and aggregate traces for the serving layer.
+
+Follows the idioms of :mod:`repro.systems.trace`: frozen per-event records
+collected into a mutable trace whose properties derive the figures-of-merit.
+Where :class:`~repro.systems.trace.InferenceTrace` summarises one offline
+``(b, s, n)`` run (the paper's Section VI protocol), :class:`ServingTrace`
+summarises an online run of many requests, using the standard LLM-serving
+latency definitions:
+
+* **TTFT** (time to first token) — arrival to first generated token,
+  including queueing and prefill;
+* **TPOT** (time per output token) — mean inter-token gap after the first
+  token;
+* **end-to-end latency** — arrival to final token;
+* **goodput** — generated tokens per second from requests that met their
+  TTFT/TPOT SLOs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._common import ConfigurationError
+from repro.evaluation.metrics import percentiles, serving_goodput
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Lifecycle timestamps of one completed request."""
+
+    request_id: int
+    arrival_time: float
+    admission_time: float
+    first_token_time: float
+    completion_time: float
+    input_len: int
+    output_len: int
+
+    def __post_init__(self) -> None:
+        if not (self.arrival_time <= self.admission_time
+                <= self.first_token_time <= self.completion_time):
+            raise ConfigurationError(
+                f"request {self.request_id}: timestamps must be ordered "
+                f"arrival <= admission <= first token <= completion"
+            )
+
+    @property
+    def queueing_delay(self) -> float:
+        """Time spent waiting for admission into the running batch."""
+        return self.admission_time - self.arrival_time
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token (queueing + prefill + first decode step)."""
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def tpot(self) -> float:
+        """Mean time per output token after the first one.
+
+        Single-token outputs have no inter-token gap; their TPOT is 0 by
+        convention (they can only violate a TTFT SLO, never a TPOT one).
+        """
+        if self.output_len <= 1:
+            return 0.0
+        return ((self.completion_time - self.first_token_time)
+                / (self.output_len - 1))
+
+    @property
+    def e2e_latency(self) -> float:
+        return self.completion_time - self.arrival_time
+
+
+@dataclass
+class ServingTrace:
+    """End-to-end record of one simulated serving run."""
+
+    system: str
+    model: str
+    records: list[RequestRecord] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def add_record(self, record: RequestRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------ #
+    # aggregate metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def num_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def duration(self) -> float:
+        """Makespan: serve start (t=0) to the last request's completion."""
+        if not self.records:
+            return 0.0
+        return max(record.completion_time for record in self.records)
+
+    @property
+    def generated_tokens(self) -> int:
+        return sum(record.output_len for record in self.records)
+
+    @property
+    def throughput(self) -> float:
+        """Generated tokens per second over the whole run (0 when empty)."""
+        if self.duration <= 0:
+            return 0.0
+        return self.generated_tokens / self.duration
+
+    def ttft_percentiles(self, qs=(50, 90, 99)) -> dict[float, float]:
+        if not self.records:
+            return {}
+        return percentiles((r.ttft for r in self.records), qs)
+
+    def tpot_percentiles(self, qs=(50, 90, 99)) -> dict[float, float]:
+        if not self.records:
+            return {}
+        return percentiles((r.tpot for r in self.records), qs)
+
+    def latency_percentiles(self, qs=(50, 90, 99)) -> dict[float, float]:
+        if not self.records:
+            return {}
+        return percentiles((r.e2e_latency for r in self.records), qs)
+
+    def goodput(self, ttft_slo_s: float | None = None,
+                tpot_slo_s: float | None = None) -> float:
+        """SLO-conditioned token goodput (tokens per second)."""
+        return serving_goodput(self.records, self.duration,
+                               ttft_slo_s=ttft_slo_s, tpot_slo_s=tpot_slo_s)
+
+    @property
+    def mean_queueing_delay(self) -> float:
+        if not self.records:
+            return 0.0
+        return (sum(r.queueing_delay for r in self.records)
+                / len(self.records))
+
+    def summary(self) -> dict:
+        """Flat summary dictionary used by experiment reports."""
+        ttft = self.ttft_percentiles()
+        tpot = self.tpot_percentiles()
+        latency = self.latency_percentiles()
+        return {
+            "system": self.system,
+            "model": self.model,
+            "num_requests": self.num_requests,
+            "generated_tokens": self.generated_tokens,
+            "duration_s": self.duration,
+            "throughput_tokens_per_s": self.throughput,
+            "mean_queueing_delay_s": self.mean_queueing_delay,
+            "p50_ttft_s": ttft.get(50.0, 0.0),
+            "p90_ttft_s": ttft.get(90.0, 0.0),
+            "p99_ttft_s": ttft.get(99.0, 0.0),
+            "p50_tpot_s": tpot.get(50.0, 0.0),
+            "p99_tpot_s": tpot.get(99.0, 0.0),
+            "p50_latency_s": latency.get(50.0, 0.0),
+            "p99_latency_s": latency.get(99.0, 0.0),
+        }

@@ -13,15 +13,19 @@ A concrete system implements two hooks:
 
 Both return a :class:`SystemStepPlan`; the base class turns plans into
 :class:`~repro.systems.trace.StepTiming` records and an
-:class:`~repro.systems.trace.InferenceTrace`.
+:class:`~repro.systems.trace.InferenceTrace`.  The pricing helpers
+(:meth:`InferenceSimulator.prefill_timing`,
+:meth:`InferenceSimulator.step_timing`) are also driven step-by-step by the
+online serving engine (:mod:`repro.serving.engine`), which manages request
+admission and KV residency itself.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from repro._common import OutOfMemoryError, dtype_bytes
+from repro._common import OutOfMemoryError
 from repro.hardware.presets import HardwareSpec
 from repro.model.config import ModelConfig, get_config
 from repro.systems.cost import LLMCostModel
@@ -31,8 +35,8 @@ from repro.workloads.descriptors import Workload
 
 WEIGHTS = "weights"
 ACTIVATIONS = "activations"
-KV_GPU = "kv-cache"
-KV_CPU = "kv-cache"
+KV_GPU = "kv-cache-gpu"
+KV_CPU = "kv-cache-cpu"
 
 
 @dataclass(frozen=True)
@@ -111,6 +115,68 @@ class InferenceSimulator(ABC):
         time += memory.link.device_to_host(plan.offload_kv_tokens * per_token)
         return time
 
+    def prefill_timing(self, plan: SystemStepPlan, workload: Workload,
+                       memory: MemoryHierarchy) -> float:
+        """Wall-clock time of the prefilling stage under ``plan``.
+
+        Charges GPU compute, PCIe transfers, and — exactly like the decode
+        loop — the (de)quantization overhead for any KV tokens the plan
+        compresses on their way to CPU memory (Section V-B).
+        """
+        compute = self.cost_model.prefill_time(workload.batch_size,
+                                               workload.input_len)
+        transfer = self._transfer_time(plan, workload, memory)
+        overhead = plan.extra_overhead_s
+        if plan.quantize_tokens > 0:
+            overhead += self.cost_model.quantize_time(
+                workload.batch_size, int(round(plan.quantize_tokens))
+            )
+        return compute + transfer + overhead
+
+    def step_timing(self, plan: SystemStepPlan, step: int, workload: Workload,
+                    memory: MemoryHierarchy) -> StepTiming:
+        """Price one decode-step plan into a :class:`StepTiming`.
+
+        Pure pricing: PCIe traffic is recorded on ``memory.link`` but no
+        capacity is allocated, so callers that manage residency themselves
+        (the continuous-batching serving engine) can reuse the exact
+        accounting of :meth:`run`.  ``gpu_used_bytes``/``cpu_used_bytes`` are
+        left zero; :meth:`run` fills them in after applying the plan.
+        """
+        seq_len = workload.input_len + step + 1
+        per_token = self.kv_token_bytes(workload)
+        compute = self.cost_model.decode_step_time(
+            workload.batch_size, kv_len=seq_len, kept_kv=plan.kept_kv,
+            local_window=plan.local_window,
+        )
+        transfer = self._transfer_time(plan, workload, memory)
+        recompute = self.cost_model.recompute_time(
+            workload.batch_size, int(round(plan.recompute_tokens))
+        )
+        if self.overlap_io:
+            transfer = max(0.0, transfer - compute - recompute)
+        if plan.cpu_attention_tokens > 0:
+            # Attention over CPU-resident KV is computed CPU-side and
+            # sits on the critical path (counted as KV-caching time).
+            transfer += self.cost_model.cpu_attention_time(
+                workload.batch_size, plan.cpu_attention_tokens,
+                self.kv_dtype,
+            )
+        overhead = plan.extra_overhead_s
+        if plan.quantize_tokens > 0:
+            overhead += self.cost_model.quantize_time(
+                workload.batch_size, int(round(plan.quantize_tokens))
+            )
+        return StepTiming(
+            step=step, sequence_length=seq_len, phase=plan.phase,
+            compute_time=compute, transfer_time=transfer,
+            recompute_time=recompute, overhead_time=overhead,
+            gpu_kv_bytes=plan.kv_gpu_tokens * per_token,
+            cpu_kv_bytes=plan.kv_cpu_tokens * per_token,
+            bytes_offloaded=plan.offload_kv_tokens * per_token,
+            bytes_reloaded=plan.load_kv_tokens * per_token,
+        )
+
     def run(self, workload: Workload) -> InferenceTrace:
         """Simulate one end-to-end inference run of ``workload``."""
         memory = MemoryHierarchy.from_hardware(self.hardware)
@@ -121,55 +187,22 @@ class InferenceSimulator(ABC):
             metadata={"hardware": self.hardware.name, "kv_dtype": self.kv_dtype},
         )
         self.prepare(workload)
-        per_token = self.kv_token_bytes(workload)
         try:
             self._allocate_static(workload, memory)
 
             prefill_plan = self.plan_prefill(workload)
-            prefill_compute = self.cost_model.prefill_time(
-                workload.batch_size, workload.input_len
-            )
-            prefill_transfer = self._transfer_time(prefill_plan, workload, memory)
+            trace.prefill_time = self.prefill_timing(prefill_plan, workload,
+                                                     memory)
             self._apply_memory(prefill_plan, workload, memory)
-            trace.prefill_time = (prefill_compute + prefill_transfer
-                                  + prefill_plan.extra_overhead_s)
 
             for step in range(workload.output_len):
                 plan = self.plan_decode_step(step, workload)
-                seq_len = workload.input_len + step + 1
-                compute = self.cost_model.decode_step_time(
-                    workload.batch_size, kv_len=seq_len, kept_kv=plan.kept_kv,
-                    local_window=plan.local_window,
-                )
-                transfer = self._transfer_time(plan, workload, memory)
-                recompute = self.cost_model.recompute_time(
-                    workload.batch_size, int(round(plan.recompute_tokens))
-                )
-                if self.overlap_io:
-                    transfer = max(0.0, transfer - compute - recompute)
-                if plan.cpu_attention_tokens > 0:
-                    # Attention over CPU-resident KV is computed CPU-side and
-                    # sits on the critical path (counted as KV-caching time).
-                    transfer += self.cost_model.cpu_attention_time(
-                        workload.batch_size, plan.cpu_attention_tokens,
-                        self.kv_dtype,
-                    )
-                overhead = plan.extra_overhead_s
-                if plan.quantize_tokens > 0:
-                    overhead += self.cost_model.quantize_time(
-                        workload.batch_size, int(round(plan.quantize_tokens))
-                    )
+                timing = self.step_timing(plan, step, workload, memory)
                 self._apply_memory(plan, workload, memory)
-                trace.add_step(StepTiming(
-                    step=step, sequence_length=seq_len, phase=plan.phase,
-                    compute_time=compute, transfer_time=transfer,
-                    recompute_time=recompute, overhead_time=overhead,
-                    gpu_kv_bytes=plan.kv_gpu_tokens * per_token,
-                    cpu_kv_bytes=plan.kv_cpu_tokens * per_token,
+                trace.add_step(replace(
+                    timing,
                     gpu_used_bytes=memory.gpu.used_bytes,
                     cpu_used_bytes=memory.cpu.used_bytes,
-                    bytes_offloaded=plan.offload_kv_tokens * per_token,
-                    bytes_reloaded=plan.load_kv_tokens * per_token,
                 ))
         except OutOfMemoryError as exc:
             trace.oom = True

@@ -1,5 +1,13 @@
-"""Workload descriptors and synthetic dataset generators."""
+"""Workload descriptors, arrival traces, and synthetic dataset generators."""
 
+from repro.workloads.arrivals import (
+    ARRIVAL_PATTERNS,
+    Request,
+    bursty_arrival_times,
+    generate_requests,
+    poisson_arrival_times,
+    sharegpt_lengths,
+)
 from repro.workloads.corpus import sample_prompts, zipf_prompt_batch, zipf_token_stream
 from repro.workloads.descriptors import (
     ALPACA_WORKLOAD,
@@ -23,6 +31,7 @@ from repro.workloads.recall import (
 __all__ = [
     "ALL_DATASETS",
     "ALPACA_WORKLOAD",
+    "ARRIVAL_PATTERNS",
     "FIGURE1_WORKLOADS",
     "FIGURE9_BATCH_SIZES",
     "LM_DATASETS",
@@ -30,12 +39,17 @@ __all__ = [
     "RecallDataset",
     "RecallSequence",
     "RecallTaskConfig",
+    "Request",
     "Workload",
     "alpaca_batch_sweep",
+    "bursty_arrival_times",
     "generate_recall_dataset",
     "generate_recall_sequence",
+    "generate_requests",
     "get_dataset_config",
+    "poisson_arrival_times",
     "sample_prompts",
+    "sharegpt_lengths",
     "zipf_prompt_batch",
     "zipf_token_stream",
 ]

@@ -1,0 +1,160 @@
+"""Request arrival traces for the online serving experiments.
+
+The paper's system evaluation (Section VI) runs one offline ``(b, s, n)``
+batch at a time; a serving deployment instead sees *requests* arriving over
+time.  This module provides the request descriptor and deterministic
+arrival-trace generators consumed by
+:class:`~repro.serving.engine.ContinuousBatchingEngine`:
+
+* :func:`poisson_arrival_times` — memoryless open-loop traffic at a fixed
+  average rate (the standard serving-benchmark arrival process);
+* :func:`bursty_arrival_times` — Markov-modulated bursts: short windows at a
+  multiple of the base rate separated by idle gaps that restore the long-run
+  average, stressing admission control and queueing;
+* :func:`sharegpt_lengths` — heavy-tailed (log-normal) prompt/response
+  lengths mimicking the ShareGPT conversation trace used by serving papers.
+
+Everything is sampled through :func:`repro._common.rng`, so a trace is fully
+reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._common import ConfigurationError, rng, validate_positive
+
+
+@dataclass(frozen=True)
+class Request:
+    """One serving request: an arrival time plus prompt/output lengths.
+
+    The offline :class:`~repro.workloads.descriptors.Workload` is the
+    degenerate case of ``batch_size`` identical requests all arriving at
+    time zero.
+    """
+
+    request_id: int
+    arrival_time: float
+    input_len: int
+    output_len: int
+
+    def __post_init__(self) -> None:
+        validate_positive(input_len=self.input_len, output_len=self.output_len)
+        if self.arrival_time < 0:
+            raise ConfigurationError(
+                f"arrival_time must be non-negative, got {self.arrival_time!r}"
+            )
+
+    @property
+    def max_seq_len(self) -> int:
+        """KV tokens the request occupies once fully generated."""
+        return self.input_len + self.output_len
+
+
+def poisson_arrival_times(num_requests: int, rate: float,
+                          seed: int | None = 0) -> np.ndarray:
+    """Arrival times of a Poisson process with ``rate`` requests per second."""
+    validate_positive(num_requests=num_requests, rate=rate)
+    gaps = rng(seed).exponential(1.0 / rate, size=num_requests)
+    return np.cumsum(gaps)
+
+
+def bursty_arrival_times(num_requests: int, rate: float,
+                         seed: int | None = 0, burst_size: int = 8,
+                         burst_factor: float = 8.0) -> np.ndarray:
+    """Bursty arrivals with long-run average ``rate`` requests per second.
+
+    Requests arrive in bursts of ``burst_size`` at ``burst_factor`` times the
+    base rate; each burst is followed by an idle gap sized so the long-run
+    average matches ``rate``.
+    """
+    validate_positive(num_requests=num_requests, rate=rate,
+                      burst_size=burst_size)
+    if burst_factor <= 1.0:
+        raise ConfigurationError(
+            f"burst_factor must exceed 1, got {burst_factor!r}"
+        )
+    generator = rng(seed)
+    times: list[float] = []
+    clock = 0.0
+    while len(times) < num_requests:
+        burst = min(burst_size, num_requests - len(times))
+        for _ in range(burst):
+            clock += generator.exponential(1.0 / (rate * burst_factor))
+            times.append(clock)
+        # Idle gap restoring the average: the burst compressed `burst / rate`
+        # seconds of traffic into `burst / (rate * burst_factor)` seconds.
+        clock += generator.exponential(
+            (burst_factor - 1.0) * burst / (rate * burst_factor)
+        )
+    return np.asarray(times)
+
+
+def sharegpt_lengths(num_requests: int, seed: int | None = 0,
+                     mean_input: int = 128, mean_output: int = 256,
+                     sigma: float = 0.8, max_len: int = 2048
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Heavy-tailed prompt/response lengths in the style of ShareGPT.
+
+    Lengths are log-normal with the requested means and shape ``sigma``
+    (most requests short, a fat tail of very long conversations), clipped to
+    ``[1, max_len]`` and rounded to integers.
+    """
+    validate_positive(num_requests=num_requests, mean_input=mean_input,
+                      mean_output=mean_output, sigma=sigma, max_len=max_len)
+    generator = rng(seed)
+
+    def sample(mean: int) -> np.ndarray:
+        mu = np.log(mean) - sigma ** 2 / 2.0  # keeps E[length] = mean
+        lengths = generator.lognormal(mu, sigma, size=num_requests)
+        return np.clip(np.round(lengths), 1, max_len).astype(int)
+
+    return sample(mean_input), sample(mean_output)
+
+
+#: Registry of arrival-time generators keyed by trace-pattern name.
+ARRIVAL_PATTERNS = {
+    "poisson": poisson_arrival_times,
+    "bursty": bursty_arrival_times,
+}
+
+
+def generate_requests(num_requests: int, rate: float,
+                      pattern: str = "poisson", seed: int | None = 0,
+                      input_len: int | None = None,
+                      output_len: int | None = None,
+                      **length_kwargs) -> list[Request]:
+    """Build a deterministic request trace.
+
+    Fixed ``input_len``/``output_len`` give a homogeneous trace (the paper's
+    Alpaca setting spread over time); leaving either ``None`` samples the
+    missing lengths from the ShareGPT-style heavy-tailed distribution, with
+    ``length_kwargs`` forwarded to :func:`sharegpt_lengths`.
+    """
+    try:
+        arrival_fn = ARRIVAL_PATTERNS[pattern]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown arrival pattern {pattern!r}; "
+            f"known: {sorted(ARRIVAL_PATTERNS)}"
+        ) from exc
+    times = arrival_fn(num_requests, rate, seed=seed)
+    if input_len is None or output_len is None:
+        inputs, outputs = sharegpt_lengths(
+            num_requests, seed=None if seed is None else seed + 1,
+            **length_kwargs)
+        if input_len is not None:
+            inputs = np.full(num_requests, input_len, dtype=int)
+        if output_len is not None:
+            outputs = np.full(num_requests, output_len, dtype=int)
+    else:
+        inputs = np.full(num_requests, input_len, dtype=int)
+        outputs = np.full(num_requests, output_len, dtype=int)
+    return [
+        Request(request_id=i, arrival_time=float(times[i]),
+                input_len=int(inputs[i]), output_len=int(outputs[i]))
+        for i in range(num_requests)
+    ]

@@ -343,3 +343,57 @@ class TestSimulators:
         trace = FlexGenSystem("opt-6.7b", V100_16GB_NODE).run(small_workload)
         components = trace.time_by_component()
         assert sum(components.values()) == pytest.approx(trace.total_time)
+
+
+class TestCostAccountingRegressions:
+    """Pin the prefill-quantization and static-offload cost accounting."""
+
+    #: Static-ablation workload whose KV cache overflows the V100-16GB GPU
+    #: (max_seq_len exceeds the KV budget), forcing prefill-time offloading.
+    OFFLOAD_WORKLOAD = Workload(16, 256, 256, "offload")
+
+    @pytest.mark.parametrize("use_dynamic_scheduling", [False, True])
+    def test_prefill_pays_quantization_when_offloading(self,
+                                                       use_dynamic_scheduling):
+        # kv_dtype is pinned to fp16 on both sides so the *only* difference
+        # is the (de)quantization overhead, not the transfer volume.
+        workload = (self.OFFLOAD_WORKLOAD if not use_dynamic_scheduling
+                    else Workload(16, 512, 32, "offload-dyn"))
+        compressed = AlisaSystem("opt-6.7b", V100_16GB_NODE, kv_sparsity=0.8,
+                                 use_dynamic_scheduling=use_dynamic_scheduling,
+                                 use_compression=True, kv_dtype="fp16")
+        plain = AlisaSystem("opt-6.7b", V100_16GB_NODE, kv_sparsity=0.8,
+                            use_dynamic_scheduling=use_dynamic_scheduling,
+                            use_compression=False)
+        assert compressed.gpu_kv_budget_tokens(workload) < workload.max_seq_len
+        compressed_trace = compressed.run(workload)
+        plain_trace = plain.run(workload)
+        assert not compressed_trace.oom and not plain_trace.oom
+        assert compressed_trace.prefill_time > plain_trace.prefill_time
+
+    def test_static_ablation_offloads_per_step_delta(self):
+        workload = self.OFFLOAD_WORKLOAD
+        system = AlisaSystem("opt-6.7b", V100_16GB_NODE, kv_sparsity=0.8,
+                             use_dynamic_scheduling=False,
+                             use_compression=False)
+        budget = system.gpu_kv_budget_tokens(workload)
+        fraction = 1.0 - budget / workload.max_seq_len
+        assert fraction > 0
+        trace = system.run(workload)
+        assert not trace.oom
+        per_token = system.kv_token_bytes(workload)
+        # Each decode step grows the CPU share by exactly `fraction` tokens;
+        # only that delta crosses PCIe.
+        for step in trace.steps:
+            assert step.bytes_offloaded == pytest.approx(fraction * per_token)
+        # Plan-level invariant: every step's offload equals the growth of
+        # the CPU-resident share over the preceding plan, regardless of
+        # where in the sequence the step sits, so cumulative offloads
+        # reconstruct the resident share exactly.
+        system.prepare(workload)
+        previous = system.plan_prefill(workload)
+        for step in range(4):
+            plan = system.plan_decode_step(step, workload)
+            assert plan.offload_kv_tokens == pytest.approx(
+                plan.kv_cpu_tokens - previous.kv_cpu_tokens)
+            previous = plan

@@ -15,6 +15,7 @@ class TestRegistry:
             "fig04_distributions", "fig05_attention_maps", "fig08_accuracy",
             "fig09_throughput", "fig10_attainable_sparsity",
             "fig11_attention_breakdown", "fig12_breakdown",
+            "serving_rate_sweep",
         }
         assert expected <= names
 

@@ -1,0 +1,242 @@
+"""Tests for the serving layer: arrival traces, continuous batching, metrics."""
+
+import numpy as np
+import pytest
+
+from repro._common import ConfigurationError
+from repro.baselines import FlexGenSystem, VLLMSystem
+from repro.core.engine import AlisaSystem
+from repro.evaluation.metrics import percentiles, serving_goodput
+from repro.experiments import list_experiments, run_experiment
+from repro.hardware.presets import V100_16GB_NODE
+from repro.serving import ContinuousBatchingEngine, RequestRecord, ServingTrace
+from repro.workloads.arrivals import (
+    Request,
+    bursty_arrival_times,
+    generate_requests,
+    poisson_arrival_times,
+    sharegpt_lengths,
+)
+
+MODEL = "opt-6.7b"
+
+
+def flexgen_engine(**kwargs) -> ContinuousBatchingEngine:
+    return ContinuousBatchingEngine(FlexGenSystem(MODEL, V100_16GB_NODE),
+                                    **kwargs)
+
+
+class TestArrivalTraces:
+    def test_poisson_is_deterministic_and_increasing(self):
+        a = poisson_arrival_times(64, rate=2.0, seed=7)
+        b = poisson_arrival_times(64, rate=2.0, seed=7)
+        assert np.array_equal(a, b)
+        assert np.all(np.diff(a) > 0)
+        assert not np.array_equal(a, poisson_arrival_times(64, 2.0, seed=8))
+
+    def test_poisson_matches_requested_rate(self):
+        times = poisson_arrival_times(2000, rate=4.0, seed=0)
+        assert 2000 / times[-1] == pytest.approx(4.0, rel=0.1)
+
+    def test_bursty_keeps_long_run_rate(self):
+        times = bursty_arrival_times(2000, rate=4.0, seed=0, burst_size=8,
+                                     burst_factor=8.0)
+        assert np.all(np.diff(times) > 0)
+        assert 2000 / times[-1] == pytest.approx(4.0, rel=0.15)
+
+    def test_bursty_is_burstier_than_poisson(self):
+        poisson = np.diff(poisson_arrival_times(2000, 4.0, seed=0))
+        bursty = np.diff(bursty_arrival_times(2000, 4.0, seed=0))
+        # Coefficient of variation of inter-arrival gaps: ~1 for Poisson,
+        # larger for the Markov-modulated bursts.
+        cv = lambda gaps: np.std(gaps) / np.mean(gaps)  # noqa: E731
+        assert cv(bursty) > cv(poisson) * 1.3
+
+    def test_sharegpt_lengths_heavy_tailed(self):
+        inputs, outputs = sharegpt_lengths(4000, seed=0, mean_input=128,
+                                           mean_output=256)
+        assert inputs.min() >= 1 and outputs.min() >= 1
+        assert np.mean(inputs) == pytest.approx(128, rel=0.15)
+        assert np.mean(outputs) == pytest.approx(256, rel=0.15)
+        # Heavy tail: the p99 length is far above the median.
+        assert np.percentile(outputs, 99) > 3 * np.median(outputs)
+
+    def test_generate_requests_fixed_and_sampled(self):
+        fixed = generate_requests(10, 2.0, input_len=64, output_len=32, seed=0)
+        assert all(r.input_len == 64 and r.output_len == 32 for r in fixed)
+        assert [r.request_id for r in fixed] == list(range(10))
+        sampled = generate_requests(10, 2.0, seed=0)
+        assert len({r.input_len for r in sampled}) > 1
+
+    def test_generate_requests_unknown_pattern(self):
+        with pytest.raises(ConfigurationError):
+            generate_requests(4, 1.0, pattern="fractal")
+
+    def test_request_validation(self):
+        with pytest.raises(ConfigurationError):
+            Request(0, arrival_time=-1.0, input_len=8, output_len=8)
+        with pytest.raises(ConfigurationError):
+            Request(0, arrival_time=0.0, input_len=0, output_len=8)
+
+
+class TestServingMetrics:
+    def test_percentiles_match_numpy(self, rng):
+        values = rng.exponential(1.0, size=257)
+        result = percentiles(values, qs=(50, 90, 99))
+        for q in (50, 90, 99):
+            assert result[float(q)] == np.percentile(values, q)
+
+    def test_percentiles_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            percentiles([])
+
+    def _record(self, request_id, ttft, tpot, output_len=10):
+        first = 1.0 + ttft
+        return RequestRecord(
+            request_id=request_id, arrival_time=1.0, admission_time=1.0,
+            first_token_time=first,
+            completion_time=first + tpot * (output_len - 1),
+            input_len=8, output_len=output_len,
+        )
+
+    def test_goodput_filters_by_slo(self):
+        records = [self._record(0, ttft=0.1, tpot=0.01),
+                   self._record(1, ttft=5.0, tpot=0.01),
+                   self._record(2, ttft=0.1, tpot=1.0)]
+        duration = 10.0
+        assert serving_goodput(records, duration) == pytest.approx(3.0)
+        assert serving_goodput(records, duration,
+                               ttft_slo_s=1.0) == pytest.approx(2.0)
+        assert serving_goodput(records, duration, ttft_slo_s=1.0,
+                               tpot_slo_s=0.1) == pytest.approx(1.0)
+        assert serving_goodput(records, 0.0) == 0.0
+
+    def test_record_derived_metrics(self):
+        record = RequestRecord(request_id=0, arrival_time=1.0,
+                               admission_time=2.0, first_token_time=3.0,
+                               completion_time=7.0, input_len=16, output_len=5)
+        assert record.queueing_delay == pytest.approx(1.0)
+        assert record.ttft == pytest.approx(2.0)
+        assert record.tpot == pytest.approx(1.0)
+        assert record.e2e_latency == pytest.approx(6.0)
+
+    def test_record_rejects_disordered_timestamps(self):
+        with pytest.raises(ConfigurationError):
+            RequestRecord(request_id=0, arrival_time=1.0, admission_time=0.5,
+                          first_token_time=2.0, completion_time=3.0,
+                          input_len=8, output_len=8)
+
+    def test_trace_percentiles_match_numpy(self):
+        trace = ServingTrace(system="s", model="m")
+        for i, ttft in enumerate((0.1, 0.4, 0.2, 0.9, 0.3)):
+            trace.add_record(self._record(i, ttft=ttft, tpot=0.01))
+        ttfts = [r.ttft for r in trace.records]
+        assert trace.ttft_percentiles()[99.0] == np.percentile(ttfts, 99)
+        assert trace.ttft_percentiles()[50.0] == np.percentile(ttfts, 50)
+
+
+class TestContinuousBatchingEngine:
+    def test_zero_arrival_trace_is_empty(self):
+        trace = flexgen_engine().serve([])
+        assert trace.num_requests == 0
+        assert trace.records == []
+        assert trace.throughput == 0.0
+        assert trace.goodput() == 0.0
+        assert trace.ttft_percentiles() == {}
+        summary = trace.summary()
+        assert summary["throughput_tokens_per_s"] == 0.0
+        assert summary["p99_ttft_s"] == 0.0
+
+    def test_all_requests_complete_with_ordered_timestamps(self):
+        requests = generate_requests(12, rate=8.0, input_len=128,
+                                     output_len=64, seed=1)
+        trace = flexgen_engine().serve(requests)
+        assert trace.num_requests == len(requests)
+        assert sorted(r.request_id for r in trace.records) == list(range(12))
+        for record in trace.records:
+            assert record.ttft > 0
+            assert record.tpot > 0
+            assert record.e2e_latency >= record.ttft
+
+    def test_admits_in_arrival_order(self):
+        # High rate + long outputs force a backlog, so admission decisions
+        # are non-trivial; FCFS must still admit strictly in arrival order.
+        requests = generate_requests(16, rate=50.0, input_len=256,
+                                     output_len=256, seed=2)
+        trace = flexgen_engine().serve(requests)
+        by_arrival = sorted(trace.records, key=lambda r: r.arrival_time)
+        admissions = [r.admission_time for r in by_arrival]
+        assert admissions == sorted(admissions)
+        assert max(r.queueing_delay for r in by_arrival) > 0
+
+    def test_never_exceeds_kv_budget(self):
+        requests = generate_requests(16, rate=50.0, input_len=256,
+                                     output_len=256, seed=2)
+        engine = flexgen_engine()
+        trace = engine.serve(requests)
+        budget = trace.metadata["kv_budget_tokens"]
+        assert budget == engine.kv_budget_tokens(requests)
+        assert 0 < trace.metadata["peak_reserved_tokens"] <= budget
+
+    def test_max_batch_size_caps_concurrency(self):
+        requests = generate_requests(8, rate=100.0, input_len=32,
+                                     output_len=32, seed=3)
+        capped = flexgen_engine(max_batch_size=1).serve(requests)
+        free = flexgen_engine().serve(requests)
+        assert capped.metadata["peak_reserved_tokens"] == 64
+        assert capped.duration > free.duration
+
+    def test_oversized_request_rejected(self):
+        engine = flexgen_engine()
+        with pytest.raises(ConfigurationError):
+            engine.serve([Request(0, 0.0, input_len=4000, output_len=4000)])
+
+    def test_alisa_compression_doubles_admission_budget(self):
+        requests = generate_requests(4, rate=4.0, input_len=64,
+                                     output_len=32, seed=0)
+        alisa = ContinuousBatchingEngine(
+            AlisaSystem(MODEL, V100_16GB_NODE, kv_sparsity=0.8))
+        ratio = (alisa.kv_budget_tokens(requests)
+                 / flexgen_engine().kv_budget_tokens(requests))
+        assert ratio == pytest.approx(2.0, rel=0.01)
+
+    def test_vllm_and_alisa_serve_end_to_end(self):
+        requests = generate_requests(6, rate=8.0, input_len=64,
+                                     output_len=32, seed=4)
+        for system in (VLLMSystem(MODEL, V100_16GB_NODE),
+                       AlisaSystem(MODEL, V100_16GB_NODE, kv_sparsity=0.8)):
+            trace = ContinuousBatchingEngine(system).serve(requests)
+            assert trace.num_requests == len(requests)
+            assert trace.throughput > 0
+
+
+class TestServingExperiment:
+    def test_registered(self):
+        assert "serving_rate_sweep" in list_experiments()
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        # 16 x (256 + 128) = 6144 reserved KV tokens versus a ~5k-token FP16
+        # budget: the baselines must queue at high rate while ALISA's INT8
+        # cache still fits everything.
+        return run_experiment("serving_rate_sweep", rates=(2.0, 16.0),
+                              num_requests=16, input_len=256, output_len=128)
+
+    def test_rows_cover_systems_and_rates(self, result):
+        systems = {row["system"] for row in result.rows}
+        assert systems == {"alisa", "vllm", "flexgen"}
+        assert len(result.rows) == 6
+
+    def test_tail_latency_grows_with_load(self, result):
+        for system in ("alisa", "vllm", "flexgen"):
+            rows = sorted(result.filter(system=system),
+                          key=lambda r: r["rate_req_per_s"])
+            assert rows[-1]["p99_ttft_s"] >= rows[0]["p99_ttft_s"]
+            assert (rows[-1]["mean_queueing_delay_s"]
+                    >= rows[0]["mean_queueing_delay_s"])
+
+    def test_alisa_queues_less_under_load(self, result):
+        alisa = result.filter(system="alisa", rate_req_per_s=16.0)[0]
+        vllm = result.filter(system="vllm", rate_req_per_s=16.0)[0]
+        assert alisa["kv_budget_tokens"] > vllm["kv_budget_tokens"]
+        assert alisa["p99_ttft_s"] <= vllm["p99_ttft_s"]
