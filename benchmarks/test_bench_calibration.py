@@ -1,0 +1,26 @@
+"""Machine-speed calibration benchmark for the CI perf-regression gate.
+
+The serving benchmarks are interpreter-bound, so their absolute wall-clock
+shifts with the runner the suite lands on.  This benchmark spins a fixed
+pure-Python workload whose cost tracks interpreter speed; the regression
+gate (``tools/check_bench_regression.py --calibrate``) divides every
+benchmark mean by it, comparing machine-normalized times instead of raw
+seconds so a slower CI runner does not read as a code regression.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def _spin() -> float:
+    total = 0.0
+    for i in range(200_000):
+        total += (i % 7) * 0.5 - (i % 3)
+    return total
+
+
+@pytest.mark.benchmark(group="calibration")
+def test_bench_calibration_interpreter(benchmark):
+    result = benchmark(_spin)
+    assert result != 0.0

@@ -46,7 +46,8 @@ def system_demo() -> None:
     workload = ALPACA_WORKLOAD.with_batch_size(32)
 
     flexgen = FlexGenSystem(model, hardware).run(workload)
-    alisa = AlisaSystem(model, hardware, kv_sparsity=0.8).run(workload)
+    alisa_system = AlisaSystem(model, hardware, kv_sparsity=0.8)
+    alisa = alisa_system.run(workload)
 
     print("\n== system simulation ==")
     print(f"workload                  : {workload.batch_size} x "
@@ -54,7 +55,7 @@ def system_demo() -> None:
     print(f"FlexGen throughput        : {flexgen.throughput:8.1f} tokens/s")
     print(f"ALISA throughput          : {alisa.throughput:8.1f} tokens/s")
     print(f"ALISA speedup             : {alisa.throughput / flexgen.throughput:.2f}x")
-    print(f"ALISA schedule            : {alisa.schedule_solution.config}")
+    print(f"ALISA schedule            : {alisa_system.schedule_solution.config}")
 
 
 if __name__ == "__main__":

@@ -1,5 +1,11 @@
 """ALISA core: SWA, dynamic scheduling, offline optimization, compression."""
 
+from repro.core.schedule_cache import (
+    FULL_RESOLVE_POLICY,
+    CachedSchedule,
+    ScheduleCache,
+    SchedulePolicy,
+)
 from repro.core.swa import (
     SWAConfig,
     SWASelection,
@@ -9,6 +15,10 @@ from repro.core.swa import (
 )
 
 __all__ = [
+    "FULL_RESOLVE_POLICY",
+    "CachedSchedule",
+    "ScheduleCache",
+    "SchedulePolicy",
     "SWAConfig",
     "SWASelection",
     "local_attention_window",

@@ -19,6 +19,16 @@ Ablation flags turn the last two off to reproduce Figure 12 (b)/(c):
 (but still with sparse attention), and ``enable_recomputation=False`` forces
 ``beta = 0`` so Phase III never deletes anything.
 
+The offline search is memoized through a
+:class:`~repro.core.schedule_cache.ScheduleCache`: repeated shapes reuse
+their solution outright, nearby shapes share canonical solutions, and cold
+solves of new shapes are warm-started from the nearest solved neighbor
+(see :mod:`repro.core.schedule_cache` for the policy knobs and the
+``exact=True`` escape hatch that restores the paper's full per-shape grid
+search).  This is what keeps the continuous-batching serving engine — which
+re-prepares the simulator every decode epoch — off the full-grid-search
+hot path.
+
 For functional (accuracy) experiments use
 :class:`~repro.attention.variants.SWAAttentionPolicy` with the NumPy model
 instead; this class only models time and memory.
@@ -27,7 +37,16 @@ instead; this class only models time and memory.
 from __future__ import annotations
 
 from repro._common import ConfigurationError, validate_fraction
-from repro.core.optimizer import SchedulerOptimizer, ScheduleSolution
+from repro.core.optimizer import (
+    SchedulerOptimizer,
+    ScheduleSolution,
+    phase1_end_step,
+)
+from repro.core.schedule_cache import (
+    CachedSchedule,
+    ScheduleCache,
+    SchedulePolicy,
+)
 from repro.core.scheduler import (
     PHASE_GPU,
     PHASE_GPU_CPU,
@@ -54,6 +73,8 @@ class AlisaSystem(InferenceSimulator):
                  use_compression: bool = True,
                  enable_recomputation: bool = True,
                  scheduler_config: SchedulerConfig | None = None,
+                 schedule_policy: SchedulePolicy | None = None,
+                 schedule_cache: ScheduleCache | None = None,
                  **kwargs) -> None:
         validate_fraction(kv_sparsity=kv_sparsity)
         if use_compression:
@@ -64,10 +85,22 @@ class AlisaSystem(InferenceSimulator):
         self.use_dynamic_scheduling = use_dynamic_scheduling
         self.use_compression = use_compression
         self.enable_recomputation = enable_recomputation
+        self.schedule_policy = schedule_policy or SchedulePolicy()
+        self.schedule_cache = (schedule_cache if schedule_cache is not None
+                               else ScheduleCache())
         self._fixed_scheduler_config = scheduler_config
         self._scheduler: DynamicScheduler | None = None
         self._solution: ScheduleSolution | None = None
         self._static_cpu_fraction = 0.0
+        # Profile caches shared across re-solves, keyed by batch size (the
+        # only workload dimension the per-sequence-length costs depend on).
+        self._profile_caches: dict[int, tuple[dict, dict]] = {}
+        # Namespaces cache keys so one ScheduleCache can back many systems.
+        self._schedule_context = (
+            "alisa", self.config.name, self.hardware.name, self.kv_dtype,
+            self.swa.caching_ratio, self.swa.local_fraction,
+            self.weights_on_gpu, self.enable_recomputation,
+        )
 
     # ------------------------------------------------------------------ #
     # offline planning
@@ -90,11 +123,7 @@ class AlisaSystem(InferenceSimulator):
             config = self._fixed_scheduler_config
             self._solution = None
         else:
-            optimizer = SchedulerOptimizer(self.cost_model, workload, self.swa,
-                                           kv_dtype=self.kv_dtype)
-            beta_grid = optimizer.beta_grid if self.enable_recomputation else (0.0,)
-            optimizer.beta_grid = beta_grid
-            self._solution = optimizer.solve(weights_on_gpu=self.weights_on_gpu)
+            self._solution = self._solve_schedule(workload, gpu_budget)
             config = self._solution.config
         if not self.enable_recomputation and config.recompute_ratio > 0:
             config = SchedulerConfig(
@@ -104,10 +133,91 @@ class AlisaSystem(InferenceSimulator):
         self._scheduler = DynamicScheduler(config, self.swa, gpu_budget,
                                            workload.input_len)
 
+    # ------------------------------------------------------------------ #
+    # incremental schedule re-solve (see repro.core.schedule_cache)
+    # ------------------------------------------------------------------ #
+    def _make_optimizer(self, workload: Workload) -> SchedulerOptimizer:
+        caches = self._profile_caches.setdefault(workload.batch_size,
+                                                 ({}, {}))
+        optimizer = SchedulerOptimizer(self.cost_model, workload, self.swa,
+                                       kv_dtype=self.kv_dtype,
+                                       profile_caches=caches)
+        if not self.enable_recomputation:
+            optimizer.beta_grid = (0.0,)
+        return optimizer
+
+    def _solve_schedule(self, workload: Workload,
+                        gpu_budget: int) -> ScheduleSolution:
+        """Serve the offline search through the incremental cache layer.
+
+        Order of preference: exact memo hit (byte-identical to re-solving),
+        canonical-bucket hit (re-derive the shared solution for this exact
+        shape), warm-started coordinate-descent solve seeded from the
+        nearest solved shape, cold solve.  ``SchedulePolicy(exact=True)``
+        skips everything but the exact memo and runs the paper's full grid
+        search per new shape.
+        """
+        cache, policy = self.schedule_cache, self.schedule_policy
+        stats = cache.stats
+        key = cache.exact_key(self._schedule_context, workload, gpu_budget)
+        if policy.memoize:
+            hit = cache.lookup_exact(key)
+            if hit is not None:
+                return hit
+
+        optimizer = self._make_optimizer(workload)
+        if policy.exact:
+            solution = optimizer.solve(weights_on_gpu=self.weights_on_gpu)
+            stats.full_solves += 1
+            stats.candidates_evaluated += solution.evaluated_candidates
+            if policy.memoize:
+                cache.store_exact(key, solution)
+            return solution
+
+        canonical_key = cache.canonical_key(self._schedule_context, policy,
+                                            workload)
+        entry = cache.lookup_canonical(canonical_key)
+        if entry is not None:
+            config = entry.derive_config(workload,
+                                         phase1_end_step(gpu_budget, workload))
+            estimated = optimizer.fast_evaluate(config, gpu_budget)
+            stats.candidates_evaluated += 1
+            solution = ScheduleSolution(config=config, estimated_time=estimated,
+                                        gpu_budget_tokens=gpu_budget,
+                                        evaluated_candidates=1)
+        else:
+            seed_entry = (cache.nearest(self._schedule_context, workload)
+                          if policy.warm_start else None)
+            if seed_entry is not None:
+                solution = optimizer.solve_incremental(
+                    weights_on_gpu=self.weights_on_gpu,
+                    seed=(seed_entry.offload_ratio, seed_entry.recompute_ratio,
+                          seed_entry.phase3_fraction),
+                    max_rounds=policy.max_refine_rounds,
+                    gpu_budget=gpu_budget,
+                )
+                stats.warm_solves += 1
+            else:
+                solution = optimizer.solve_incremental(
+                    weights_on_gpu=self.weights_on_gpu, gpu_budget=gpu_budget,
+                )
+                stats.full_solves += 1
+            stats.candidates_evaluated += solution.evaluated_candidates
+            cache.store_canonical(canonical_key, CachedSchedule.from_config(
+                solution.config, workload, gpu_budget, solution.estimated_time,
+            ))
+        if policy.memoize:
+            cache.store_exact(key, solution)
+        return solution
+
     @property
     def schedule_solution(self) -> ScheduleSolution | None:
         """Result of the offline search (``None`` for the static ablation)."""
         return self._solution
+
+    def schedule_stats(self) -> dict[str, int]:
+        """Cumulative counters of the schedule cache backing this system."""
+        return self.schedule_cache.stats.as_dict()
 
     # ------------------------------------------------------------------ #
     # plan hooks

@@ -17,11 +17,21 @@ This module reproduces that flow:
 * :class:`SchedulerOptimizer` performs the grid/greedy search over
   ``alpha``, ``beta``, and ``p2`` and returns the best
   :class:`~repro.core.scheduler.SchedulerConfig`.
+
+Two search entry points are provided.  :meth:`SchedulerOptimizer.solve` is
+the paper's full grid search, evaluating every candidate by rolling a
+:class:`~repro.core.scheduler.DynamicScheduler` through the whole decode —
+this is the byte-exact reference path.  :meth:`SchedulerOptimizer.solve_incremental`
+prices candidates through a vectorized replica of the same objective
+(:class:`_FastObjective`) and, when given a warm-start seed from a
+previously solved nearby shape, refines it by coordinate descent over the
+candidate grids instead of sweeping the full grid; the serving hot path
+uses it through :mod:`repro.core.schedule_cache`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -107,16 +117,26 @@ def phase1_end_step(budget_tokens: int, workload: Workload) -> int:
 
 
 class ProfileTable:
-    """Cached compute/recompute/transfer costs (the paper's offline profiling)."""
+    """Cached compute/recompute/transfer costs (the paper's offline profiling).
+
+    The caches may be shared across :class:`ProfileTable` instances of the
+    same batch size and SWA configuration (sequence-length cost entries are
+    shape-independent otherwise), which lets repeated serving re-solves skip
+    re-profiling overlapping sequence ranges.
+    """
 
     def __init__(self, cost_model: LLMCostModel, workload: Workload,
-                 swa: SWAConfig, kv_dtype: str = "fp16") -> None:
+                 swa: SWAConfig, kv_dtype: str = "fp16",
+                 shared_caches: tuple[dict, dict] | None = None) -> None:
         self.cost_model = cost_model
         self.workload = workload
         self.swa = swa
         self.kv_dtype = kv_dtype
-        self._compute_cache: dict[int, float] = {}
-        self._recompute_cache: dict[int, float] = {}
+        if shared_caches is not None:
+            self._compute_cache, self._recompute_cache = shared_caches
+        else:
+            self._compute_cache = {}
+            self._recompute_cache = {}
 
     def compute_time(self, sequence_length: int) -> float:
         """GPU compute time of one decoding step at the given sequence length."""
@@ -156,6 +176,113 @@ class ScheduleSolution:
     evaluated_candidates: int
 
 
+class _FastObjective:
+    """Vectorized replica of the Equation 5 objective for one solve.
+
+    Mirrors the token-placement recurrence of
+    :meth:`~repro.core.scheduler.DynamicScheduler.plan_step` with NumPy
+    arrays instead of per-step :class:`StepPlan` objects.  Phases I/II admit
+    a closed form (nothing is ever deleted before ``p2``, so the CPU target
+    depends only on the sequence length); only the Phase III deletion state
+    is carried through a scalar loop over the ``p2..n`` suffix.  Candidate
+    costs match :meth:`SchedulerOptimizer.evaluate` up to floating-point
+    summation order (the placement integers are identical).
+    """
+
+    def __init__(self, cost_model: LLMCostModel, workload: Workload,
+                 swa: SWAConfig, profile: ProfileTable, kv_dtype: str,
+                 gpu_budget: int, phase2_step: int) -> None:
+        self.n = workload.output_len
+        self.budget = gpu_budget
+        s = workload.input_len
+        steps = np.arange(self.n)
+        seq = s + steps + 1
+
+        # Vectorized SWAConfig.split_budget over every decode step.
+        total = np.floor(seq * swa.caching_ratio + 0.5).astype(np.int64)
+        total = np.minimum(np.maximum(2, total), seq)
+        num_local = np.floor(total * swa.local_fraction + 0.5).astype(np.int64)
+        num_local = np.minimum(np.maximum(1, num_local), seq)
+        num_global = np.maximum(0, np.minimum(total - num_local,
+                                              seq - num_local))
+        bump = (num_global == 0) & (seq > num_local) & (total > num_local)
+        num_global = np.where(bump, 1, num_global)
+
+        self.num_global = num_global.astype(np.float64)
+        # Steps running in Phase II or III (Phase I moves nothing).
+        self.off_phase = (steps >= phase2_step) | (seq > gpu_budget)
+        # d == 0 closed forms, valid everywhere before the first deletion.
+        self.non_local0 = np.maximum(0, seq - num_local)
+        self.min_cpu0 = np.maximum(0, seq - gpu_budget)
+        self.non_local_total = np.maximum(1, seq - num_local)
+        self.prefill_cpu = max(0, s - gpu_budget)
+
+        # Per-step GPU compute time is candidate-independent: precompute the
+        # whole-run total once (through the shared ProfileTable cache).
+        self.compute_total = float(
+            sum(profile.compute_time(int(q)) for q in seq)
+        )
+        per_token = cost_model.kv_bytes_per_token(workload.batch_size,
+                                                  kv_dtype)
+        self._transfer_per_token = \
+            per_token / cost_model.hardware.pcie_bandwidth
+        self._cost_model = cost_model
+        self._batch_size = workload.batch_size
+        # Python-list views for the Phase III scalar recurrence.
+        self._seq_list = seq.tolist()
+        self._num_local_list = num_local.tolist()
+
+    def _cpu_deleted(self, alpha: float, beta: float,
+                     phase3_step: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-step CPU-resident and deleted token counts for a candidate."""
+        target = np.floor(alpha * self.non_local0 + 0.5).astype(np.int64)
+        target = np.minimum(np.maximum(target, self.min_cpu0),
+                            self.non_local0)
+        cpu = np.where(self.off_phase, target, 0)
+        deleted = np.zeros(self.n, dtype=np.int64)
+        if beta > 0.0 and phase3_step < self.n:
+            seq_list, local_list = self._seq_list, self._num_local_list
+            budget = self.budget
+            d = 0
+            for j in range(phase3_step, self.n):
+                non_local = seq_list[j] - d - local_list[j]
+                if non_local < 0:
+                    non_local = 0
+                tc = int(alpha * non_local + 0.5)
+                min_cpu = seq_list[j] - d - budget
+                if tc < min_cpu:
+                    tc = min_cpu
+                if tc > non_local:
+                    tc = non_local
+                target_deleted = int(beta * (tc + d) + 0.5)
+                newly = target_deleted - d
+                if newly < 0:
+                    newly = 0
+                if newly > tc:
+                    newly = tc
+                d += newly
+                cpu[j] = tc - newly
+                deleted[j] = d
+        return cpu, deleted
+
+    def cost(self, alpha: float, beta: float, phase3_step: int) -> float:
+        """Objective of Equation 5 for one ``(alpha, beta, p2)`` candidate."""
+        cpu, deleted = self._cpu_deleted(alpha, beta, phase3_step)
+        offload = np.maximum(0, np.diff(cpu, prepend=self.prefill_cpu))
+        load = self.num_global * (cpu / self.non_local_total)
+        moved = float(load.sum() + offload.sum())
+        transfer = moved * self._transfer_per_token
+        recompute = 0.0
+        if deleted[-1] > 0:
+            recompute_tokens = np.rint(
+                self.num_global * (deleted / self.non_local_total)
+            )
+            recompute = float(self._cost_model.recompute_time_batch(
+                self._batch_size, recompute_tokens
+            ).sum())
+        return self.compute_total + transfer + recompute
+
+
 class SchedulerOptimizer:
     """Greedy/grid search over ``alpha``, ``beta``, ``p2`` (Equation 5)."""
 
@@ -163,7 +290,8 @@ class SchedulerOptimizer:
                  swa: SWAConfig, kv_dtype: str = "fp16",
                  alpha_grid: tuple[float, ...] = (0.3, 0.5, 0.7, 0.9, 1.0),
                  beta_grid: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6),
-                 num_p2_candidates: int = 5) -> None:
+                 num_p2_candidates: int = 5,
+                 profile_caches: tuple[dict, dict] | None = None) -> None:
         self.cost_model = cost_model
         self.workload = workload
         self.swa = swa
@@ -171,7 +299,8 @@ class SchedulerOptimizer:
         self.alpha_grid = alpha_grid
         self.beta_grid = beta_grid
         self.num_p2_candidates = num_p2_candidates
-        self.profile = ProfileTable(cost_model, workload, swa, kv_dtype)
+        self.profile = ProfileTable(cost_model, workload, swa, kv_dtype,
+                                    shared_caches=profile_caches)
 
     # ------------------------------------------------------------------ #
     def estimate_plan_time(self, plans: list[StepPlan]) -> float:
@@ -196,12 +325,7 @@ class SchedulerOptimizer:
         gpu_budget = gpu_kv_budget_tokens(self.cost_model, self.workload,
                                           self.kv_dtype, weights_on_gpu)
         p1 = phase1_end_step(gpu_budget, self.workload)
-
-        p2_candidates = sorted({
-            int(p)
-            for p in np.linspace(p1, self.workload.output_len,
-                                 self.num_p2_candidates)
-        })
+        p2_candidates = self._p2_candidates(p1)
 
         best_config: SchedulerConfig | None = None
         best_time = float("inf")
@@ -225,3 +349,100 @@ class SchedulerOptimizer:
         return ScheduleSolution(config=best_config, estimated_time=best_time,
                                 gpu_budget_tokens=gpu_budget,
                                 evaluated_candidates=evaluated)
+
+    # ------------------------------------------------------------------ #
+    # incremental search (vectorized objective, optional warm start)
+    # ------------------------------------------------------------------ #
+    def _p2_candidates(self, p1: int) -> list[int]:
+        return sorted({
+            int(p)
+            for p in np.linspace(p1, self.workload.output_len,
+                                 self.num_p2_candidates)
+        })
+
+    def _make_objective(self, gpu_budget: int, p1: int) -> _FastObjective:
+        return _FastObjective(self.cost_model, self.workload, self.swa,
+                              self.profile, self.kv_dtype, gpu_budget, p1)
+
+    def fast_evaluate(self, config: SchedulerConfig, gpu_budget: int) -> float:
+        """Vectorized counterpart of :meth:`evaluate` (same placement math)."""
+        objective = self._make_objective(gpu_budget, config.phase2_step)
+        return objective.cost(config.offload_ratio, config.recompute_ratio,
+                              config.phase3_step)
+
+    def solve_incremental(self, weights_on_gpu: bool = True,
+                          seed: tuple[float, float, float] | None = None,
+                          max_rounds: int = 3,
+                          gpu_budget: int | None = None) -> ScheduleSolution:
+        """Search with the vectorized objective, optionally warm-started.
+
+        Without a ``seed`` this sweeps the same candidate grid as
+        :meth:`solve` (differing from it only by floating-point summation
+        order in the objective).  With a ``seed`` —
+        ``(alpha, beta, phase3_fraction)`` from a previously solved nearby
+        shape — it snaps the seed onto the candidate grids and refines by
+        coordinate descent, evaluating one axis at a time until a sweep
+        stops improving, which visits a small neighborhood instead of the
+        full grid.
+        """
+        if gpu_budget is None:
+            gpu_budget = gpu_kv_budget_tokens(self.cost_model, self.workload,
+                                              self.kv_dtype, weights_on_gpu)
+        p1 = phase1_end_step(gpu_budget, self.workload)
+        p2_candidates = self._p2_candidates(p1)
+        objective = self._make_objective(gpu_budget, p1)
+
+        costs: dict[tuple[float, float, int], float] = {}
+
+        def cost(alpha: float, beta: float, p2: int) -> float:
+            # beta == 0 makes p2 irrelevant; collapse to one representative.
+            key = (alpha, beta, p2_candidates[-1] if beta == 0.0 else p2)
+            if key not in costs:
+                costs[key] = objective.cost(alpha, beta, key[2])
+            return costs[key]
+
+        if seed is None:
+            best: tuple[float, float, int] | None = None
+            best_time = float("inf")
+            for alpha in self.alpha_grid:
+                for beta in self.beta_grid:
+                    for p2 in p2_candidates:
+                        if beta == 0.0 and p2 != p2_candidates[-1]:
+                            continue
+                        elapsed = cost(alpha, beta, p2)
+                        if elapsed < best_time:
+                            best_time = elapsed
+                            best = (alpha, beta, p2)
+        else:
+            alpha, beta, fraction = seed
+            alpha = min(self.alpha_grid, key=lambda g: abs(g - alpha))
+            beta = min(self.beta_grid, key=lambda g: abs(g - beta))
+            p2_target = p1 + fraction * (self.workload.output_len - p1)
+            p2 = min(p2_candidates, key=lambda c: abs(c - p2_target))
+            best_time = cost(alpha, beta, p2)
+            for _ in range(max_rounds):
+                improved = False
+                for candidate in self.alpha_grid:
+                    elapsed = cost(candidate, beta, p2)
+                    if elapsed < best_time:
+                        best_time, alpha, improved = elapsed, candidate, True
+                for candidate in self.beta_grid:
+                    elapsed = cost(alpha, candidate, p2)
+                    if elapsed < best_time:
+                        best_time, beta, improved = elapsed, candidate, True
+                for candidate in p2_candidates:
+                    elapsed = cost(alpha, beta, candidate)
+                    if elapsed < best_time:
+                        best_time, p2, improved = elapsed, candidate, True
+                if not improved:
+                    break
+            best = (alpha, beta, p2)
+
+        if best is None:
+            raise ConfigurationError("scheduler search evaluated no candidates")
+        alpha, beta, p2 = best
+        config = SchedulerConfig(offload_ratio=alpha, recompute_ratio=beta,
+                                 phase2_step=p1, phase3_step=max(p1, p2))
+        return ScheduleSolution(config=config, estimated_time=best_time,
+                                gpu_budget_tokens=gpu_budget,
+                                evaluated_candidates=len(costs))

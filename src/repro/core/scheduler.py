@@ -24,7 +24,7 @@ tier.  This is the same level of abstraction the paper's own cost model
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro._common import ConfigurationError, round_half_up, validate_fraction, validate_positive
 from repro.core.swa import SWAConfig

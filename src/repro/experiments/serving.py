@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.baselines import BASELINE_SYSTEMS
 from repro.core.engine import AlisaSystem
+from repro.core.schedule_cache import SchedulePolicy
 from repro.experiments.base import ExperimentResult, register
 from repro.hardware.presets import hardware_for_model
 from repro.serving import ContinuousBatchingEngine
@@ -26,6 +27,11 @@ SERVING_SYSTEMS = {
                                                  kv_sparsity=0.8),
 }
 
+#: Scheduler-cache counters surfaced per result row (zero for systems
+#: without an offline planning stage).
+SOLVER_STAT_COLUMNS = ("exact_hits", "canonical_hits", "warm_solves",
+                       "full_solves")
+
 
 @register("serving_rate_sweep",
           "Online continuous-batching latency and goodput of ALISA vs "
@@ -38,25 +44,42 @@ def serving_rate_sweep(model: str = "opt-6.7b",
                        output_len: int | None = 256,
                        seed: int = 0,
                        ttft_slo_s: float = 5.0,
-                       tpot_slo_s: float = 0.2) -> ExperimentResult:
+                       tpot_slo_s: float = 0.2,
+                       exact_schedules: bool = False) -> ExperimentResult:
     """Sweep the request arrival rate and report serving metrics.
 
     ``input_len``/``output_len`` of ``None`` sample ShareGPT-style
     heavy-tailed lengths instead of the fixed Alpaca-like shape.
+
+    Each system is built once and reused across the whole sweep, so
+    ALISA's schedule cache stays warm from rate to rate; per-serve solver
+    counters are reported in the ``solver_*`` columns.
+    ``exact_schedules=True`` makes ALISA re-solve with the paper's full
+    grid search for every new epoch shape (byte-identical schedules, much
+    slower at high arrival rates).
     """
     result = ExperimentResult(
         "serving_rate_sweep",
         "Serving: TTFT/TPOT percentiles and goodput vs arrival rate",
     )
     hardware = hardware_for_model(model)
+    policy = SchedulePolicy(exact=exact_schedules)
+    engines = {}
+    for system_name, build in SERVING_SYSTEMS.items():
+        if system_name == "alisa":
+            simulator = AlisaSystem(model, hardware, kv_sparsity=0.8,
+                                    schedule_policy=policy)
+        else:
+            simulator = build(model, hardware)
+        engines[system_name] = ContinuousBatchingEngine(simulator)
     for rate in rates:
         requests = generate_requests(num_requests, rate, pattern=pattern,
                                      seed=seed, input_len=input_len,
                                      output_len=output_len)
-        for system_name, build in SERVING_SYSTEMS.items():
-            engine = ContinuousBatchingEngine(build(model, hardware))
+        for system_name, engine in engines.items():
             trace = engine.serve(requests)
             summary = trace.summary()
+            solver = trace.metadata.get("scheduler", {})
             result.add(
                 model=model, hardware=hardware.name, system=system_name,
                 rate_req_per_s=rate, pattern=pattern,
@@ -73,9 +96,12 @@ def serving_rate_sweep(model: str = "opt-6.7b",
                 p99_latency_s=summary["p99_latency_s"],
                 kv_budget_tokens=trace.metadata["kv_budget_tokens"],
                 peak_reserved_tokens=trace.metadata["peak_reserved_tokens"],
+                **{f"solver_{name}": solver.get(name, 0)
+                   for name in SOLVER_STAT_COLUMNS},
             )
     result.notes["ttft_slo_s"] = ttft_slo_s
     result.notes["tpot_slo_s"] = tpot_slo_s
+    result.notes["exact_schedules"] = exact_schedules
     result.notes["lengths"] = (
         "sharegpt" if input_len is None or output_len is None
         else f"fixed s={input_len} n={output_len}"

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from repro.baselines import BASELINE_SYSTEMS
 from repro.core.engine import AlisaSystem
-from repro.core.scheduler import PHASE_GPU, PHASE_GPU_CPU, PHASE_RECOMPUTE
 from repro.core.swa import SWAConfig
 from repro.experiments.base import ExperimentResult, register
 from repro.hardware.presets import hardware_for_model

@@ -12,7 +12,7 @@ evaluated under dense, local, strided, H2O, or SWA attention.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -15,9 +15,13 @@ the paper's own cost model):
   wrapped simulator's :meth:`plan_decode_step`/:meth:`step_timing` on an
   epoch workload ``(b, s, n)`` with ``b`` the running batch, ``s`` the
   longest resident context, and ``n`` the steps until the next completion;
-  the simulator is re-``prepare``-d whenever batch composition changes, so
-  ALISA re-solves its offline schedule for the new shape exactly as its
-  planner would;
+  the simulator is re-``prepare``-d whenever batch composition changes.
+  For ALISA this re-prepare is served *incrementally* through its
+  :class:`~repro.core.schedule_cache.ScheduleCache` — repeated epoch shapes
+  reuse their offline schedule, nearby shapes share canonical solutions,
+  and new shapes are warm-started from the nearest solved neighbor —
+  instead of re-running the full offline grid search per epoch (pass a
+  ``SchedulePolicy(exact=True)`` system to restore that behaviour);
 * **reservation-based admission** — admitting a request reserves its full
   ``input_len + output_len`` KV footprint against the budget (vLLM's
   conservative no-preemption watermark), so the KV budget is never exceeded
@@ -72,16 +76,30 @@ class ContinuousBatchingEngine:
     reserve_fraction:
         GPU memory head-room fraction forwarded to
         :meth:`~repro.systems.simulator.InferenceSimulator.gpu_kv_budget_tokens`.
+    schedule_cache:
+        Optional shared schedule cache injected into simulators that plan
+        offline (currently :class:`~repro.core.engine.AlisaSystem`).  Lets
+        several engines — e.g. one per arrival rate in a sweep — reuse each
+        other's solved epoch shapes.  Ignored by simulators without a
+        ``schedule_cache`` attribute.
     """
 
     def __init__(self, simulator: InferenceSimulator,
                  max_batch_size: int | None = None,
-                 reserve_fraction: float = 0.05) -> None:
+                 reserve_fraction: float = 0.05,
+                 schedule_cache=None) -> None:
         if max_batch_size is not None:
             validate_positive(max_batch_size=max_batch_size)
         self.simulator = simulator
         self.max_batch_size = max_batch_size
         self.reserve_fraction = reserve_fraction
+        if schedule_cache is not None:
+            if not hasattr(simulator, "schedule_cache"):
+                raise ConfigurationError(
+                    f"simulator {simulator.name!r} does not plan offline and "
+                    "cannot adopt a schedule cache"
+                )
+            simulator.schedule_cache = schedule_cache
 
     # ------------------------------------------------------------------ #
     # admission control
@@ -122,6 +140,7 @@ class ContinuousBatchingEngine:
             metadata={"hardware": self.simulator.hardware.name,
                       "kv_dtype": self.simulator.kv_dtype},
         )
+        solver_before = self.simulator.schedule_stats()
         if not requests:
             trace.metadata.update(kv_budget_tokens=0, peak_reserved_tokens=0,
                                   num_epochs=0, num_decode_steps=0,
@@ -178,6 +197,14 @@ class ContinuousBatchingEngine:
             num_epochs=num_epochs, num_decode_steps=num_steps,
             pcie_bytes=memory.link.total_bytes,
         )
+        solver_after = self.simulator.schedule_stats()
+        if solver_after:
+            # Per-serve increments: how the per-epoch re-prepares were served
+            # (exact/canonical cache hits vs warm-started vs full solves).
+            trace.metadata["scheduler"] = {
+                key: value - solver_before.get(key, 0)
+                for key, value in solver_after.items()
+            }
         return trace
 
     # ------------------------------------------------------------------ #

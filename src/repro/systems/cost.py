@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro._common import ConfigurationError, dtype_bytes, validate_positive
 from repro.hardware.presets import HardwareSpec
 from repro.model.config import ModelConfig
@@ -240,6 +242,24 @@ class LLMCostModel:
         bytes_moved = (2.0 * h * h + 3.0 * batch_size * num_tokens * h) \
             * self.bytes_per_element
         return layers * self._roofline("recompute_kv", flops, bytes_moved).time_s
+
+    def recompute_time_batch(self, batch_size: int,
+                             num_tokens: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`recompute_time` over an array of token counts.
+
+        Applies the same roofline (identical FLOP/byte formulas and floor
+        time) elementwise, so the scheduler optimizer can price hundreds of
+        candidate step plans without a Python call per step.
+        """
+        tokens = np.asarray(num_tokens, dtype=np.float64)
+        h = self.config.hidden_size
+        flops = 2.0 * 2.0 * batch_size * tokens * h * h
+        bytes_moved = (2.0 * h * h + 3.0 * batch_size * tokens * h) \
+            * self.bytes_per_element
+        time = np.maximum(flops / self.hardware.gpu.effective_flops,
+                          bytes_moved / self.hardware.gpu.hbm_bandwidth)
+        time = self.config.num_layers * np.maximum(time, 2e-6)
+        return np.where(tokens > 0, time, 0.0)
 
     def quantize_time(self, batch_size: int, num_tokens: int) -> float:
         """Time to (de)quantize the KV tensors of ``num_tokens`` tokens."""

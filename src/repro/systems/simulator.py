@@ -90,7 +90,23 @@ class InferenceSimulator(ABC):
         """Plan decoding step ``step`` (0-based)."""
 
     def prepare(self, workload: Workload) -> None:
-        """Reset any per-run state before a simulation (optional hook)."""
+        """Reset any per-run state before a simulation (optional hook).
+
+        The continuous-batching serving engine calls this once per decode
+        epoch (whenever batch composition changes), so implementations with
+        expensive offline planning should serve repeats incrementally — see
+        :meth:`repro.core.engine.AlisaSystem.prepare`, which backs its
+        schedule search with a :class:`~repro.core.schedule_cache.ScheduleCache`.
+        """
+
+    def schedule_stats(self) -> dict[str, int]:
+        """Counters describing how offline planning was served (optional).
+
+        Systems without an offline planning stage return an empty dict; the
+        serving engine attaches the per-serve increments to its trace
+        metadata for observability.
+        """
+        return {}
 
     # ------------------------------------------------------------------ #
     # shared machinery

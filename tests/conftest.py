@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.hardware.presets import H100_80GB_NODE, V100_16GB_NODE, V100_32GB_NODE
+from repro.hardware.presets import H100_80GB_NODE, V100_16GB_NODE
 from repro.model.builder import build_random_model
 from repro.model.config import get_config
 from repro.model.constructed import build_recall_model

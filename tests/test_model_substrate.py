@@ -5,7 +5,7 @@ import pytest
 
 from repro._common import ConfigurationError
 from repro.attention.variants import DenseAttentionPolicy, make_policy
-from repro.model.builder import build_random_model, default_attention_gain
+from repro.model.builder import default_attention_gain
 from repro.model.config import (
     EXECUTABLE_CONFIGS,
     PAPER_CONFIGS,

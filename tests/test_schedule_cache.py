@@ -1,0 +1,280 @@
+"""Tests for the incremental scheduler re-solve layer.
+
+Covers the vectorized objective (must price candidates identically to the
+legacy :class:`DynamicScheduler`-driven evaluator), the warm-started
+coordinate-descent search, the :class:`ScheduleCache` key spaces, and the
+cache-correctness invariant: any schedule served from the cache — exact
+hit, canonical-bucket derivation, or warm-started solve — must cost within
+``SchedulePolicy.tolerance`` of a cold full grid solve of the same shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._common import ConfigurationError
+from repro.core.engine import AlisaSystem
+from repro.core.optimizer import (
+    SchedulerOptimizer,
+    gpu_kv_budget_tokens,
+    phase1_end_step,
+)
+from repro.core.schedule_cache import (
+    FULL_RESOLVE_POLICY,
+    CachedSchedule,
+    ScheduleCache,
+    SchedulePolicy,
+)
+from repro.core.scheduler import SchedulerConfig
+from repro.core.swa import SWAConfig
+from repro.hardware.presets import V100_16GB_NODE
+from repro.workloads.descriptors import Workload
+
+MODEL = "opt-6.7b"
+SWA = SWAConfig.from_sparsity(0.8)
+
+SHAPES = [(32, 128, 128), (8, 64, 32), (4, 512, 300), (1, 100, 7),
+          (19, 450, 64), (3, 257, 129)]
+
+
+def make_optimizer(opt_cost_model, shape) -> SchedulerOptimizer:
+    return SchedulerOptimizer(opt_cost_model, Workload(*shape, "t"), SWA,
+                              kv_dtype="int8")
+
+
+class TestFastObjective:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_matches_legacy_evaluator_on_full_grid(self, opt_cost_model,
+                                                   shape):
+        optimizer = make_optimizer(opt_cost_model, shape)
+        workload = optimizer.workload
+        budget = gpu_kv_budget_tokens(opt_cost_model, workload, "int8")
+        p1 = phase1_end_step(budget, workload)
+        for alpha in optimizer.alpha_grid:
+            for beta in optimizer.beta_grid:
+                for p2 in optimizer._p2_candidates(p1):
+                    config = SchedulerConfig(alpha, beta, p1, max(p1, p2))
+                    legacy = optimizer.evaluate(config, budget)
+                    fast = optimizer.fast_evaluate(config, budget)
+                    assert fast == pytest.approx(legacy, rel=1e-9)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_incremental_grid_reproduces_legacy_solve(self, opt_cost_model,
+                                                      shape):
+        legacy = make_optimizer(opt_cost_model, shape).solve()
+        fast = make_optimizer(opt_cost_model, shape).solve_incremental()
+        assert fast.config == legacy.config
+        assert fast.estimated_time == pytest.approx(legacy.estimated_time,
+                                                    rel=1e-9)
+        assert fast.gpu_budget_tokens == legacy.gpu_budget_tokens
+
+    def test_warm_start_visits_fewer_candidates(self, opt_cost_model):
+        cold = make_optimizer(opt_cost_model, (19, 450, 64)).solve_incremental()
+        warm = make_optimizer(opt_cost_model, (19, 450, 64)).solve_incremental(
+            seed=(cold.config.offload_ratio, cold.config.recompute_ratio, 0.5)
+        )
+        assert warm.evaluated_candidates < cold.evaluated_candidates
+        assert warm.estimated_time <= cold.estimated_time * 1.0001
+
+
+class TestSchedulePolicy:
+    def test_canonical_shape_buckets_up(self):
+        policy = SchedulePolicy(input_bucket=64, output_bucket=64)
+        workload = Workload(7, 130, 65, "w")
+        assert policy.canonical_shape(workload) == (7, 192, 128)
+        aligned = Workload(7, 128, 64, "w")
+        assert policy.canonical_shape(aligned) == (7, 128, 64)
+
+    def test_full_resolve_policy_disables_reuse(self):
+        assert FULL_RESOLVE_POLICY.exact
+        assert not FULL_RESOLVE_POLICY.memoize
+        assert not FULL_RESOLVE_POLICY.warm_start
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SchedulePolicy(input_bucket=0)
+        with pytest.raises(ConfigurationError):
+            SchedulePolicy(tolerance=1.5)
+
+
+class TestCachedSchedule:
+    def test_round_trips_on_the_solved_shape(self):
+        workload = Workload(8, 128, 256, "w")
+        config = SchedulerConfig(offload_ratio=0.7, recompute_ratio=0.4,
+                                 phase2_step=40, phase3_step=148)
+        entry = CachedSchedule.from_config(config, workload,
+                                           gpu_budget_tokens=168,
+                                           estimated_time=1.0)
+        assert entry.derive_config(workload, phase2_step=40) == config
+
+    def test_derivation_rescales_phase3_to_new_horizon(self):
+        workload = Workload(8, 128, 256, "w")
+        config = SchedulerConfig(offload_ratio=0.7, recompute_ratio=0.4,
+                                 phase2_step=0, phase3_step=128)
+        entry = CachedSchedule.from_config(config, workload, 128, 1.0)
+        derived = entry.derive_config(Workload(8, 128, 64, "w"),
+                                      phase2_step=0)
+        assert derived.phase3_step == 32  # same fraction of a shorter run
+        assert derived.offload_ratio == config.offload_ratio
+
+    def test_distance_prefers_closer_shapes(self):
+        entry = CachedSchedule.from_config(
+            SchedulerConfig(0.5, 0.0, 10, 20), Workload(8, 128, 128, "w"),
+            100, 1.0)
+        near = Workload(8, 128, 160, "w")
+        far = Workload(32, 512, 16, "w")
+        assert entry.distance(near) < entry.distance(far)
+
+
+class TestScheduleCache:
+    def test_exact_hit_returns_stored_solution(self, opt_cost_model):
+        cache = ScheduleCache()
+        workload = Workload(8, 128, 64, "w")
+        key = cache.exact_key(("ctx",), workload, 100)
+        assert cache.lookup_exact(key) is None
+        solution = make_optimizer(opt_cost_model, (8, 128, 64)).solve()
+        cache.store_exact(key, solution)
+        assert cache.lookup_exact(key) is solution
+        assert cache.stats.exact_hits == 1
+        assert len(cache) == 1
+
+    def test_nearest_respects_context_namespace(self):
+        cache = ScheduleCache()
+        workload = Workload(8, 128, 128, "w")
+        entry = CachedSchedule.from_config(
+            SchedulerConfig(0.5, 0.0, 10, 20), workload, 100, 1.0)
+        policy = SchedulePolicy()
+        cache.store_canonical(cache.canonical_key(("a",), policy, workload),
+                              entry)
+        assert cache.nearest(("a",), workload) is entry
+        assert cache.nearest(("b",), workload) is None
+
+    def test_canonical_rejects_raw_configs(self):
+        cache = ScheduleCache()
+        with pytest.raises(ConfigurationError):
+            cache.store_canonical(("k",), SchedulerConfig(0.5, 0.0, 0, 0))
+
+    def test_clear_resets_entries_and_stats(self):
+        cache = ScheduleCache()
+        cache.store_exact(("k",), object())
+        cache.lookup_exact(("k",))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.exact_hits == 0
+
+
+def alisa(policy=None, cache=None) -> AlisaSystem:
+    return AlisaSystem(MODEL, V100_16GB_NODE, kv_sparsity=0.8,
+                       schedule_policy=policy, schedule_cache=cache)
+
+
+class TestAlisaIncrementalPrepare:
+    def test_exact_mode_matches_legacy_search(self, opt_cost_model):
+        system = alisa(SchedulePolicy(exact=True))
+        workload = Workload(8, 128, 64, "w")
+        system.prepare(workload)
+        reference = make_optimizer(opt_cost_model, (8, 128, 64)).solve()
+        assert system.schedule_solution.config == reference.config
+        assert system.schedule_solution.estimated_time \
+            == reference.estimated_time
+
+    def test_repeated_shape_is_memoized(self):
+        system = alisa()
+        workload = Workload(8, 128, 64, "w")
+        system.prepare(workload)
+        first = system.schedule_solution
+        system.prepare(workload)
+        assert system.schedule_solution is first
+        stats = system.schedule_stats()
+        assert stats["exact_hits"] == 1
+        assert stats["full_solves"] == 1
+
+    def test_same_bucket_shape_derives_without_search(self):
+        system = alisa()
+        system.prepare(Workload(8, 128, 64, "w"))
+        evaluated = system.schedule_stats()["candidates_evaluated"]
+        system.prepare(Workload(8, 126, 62, "w"))  # same canonical bucket
+        stats = system.schedule_stats()
+        assert stats["canonical_hits"] == 1
+        # Derivation prices the derived config once but runs no search.
+        assert stats["candidates_evaluated"] == evaluated + 1
+
+    def test_new_bucket_warm_starts_from_neighbor(self):
+        system = alisa()
+        system.prepare(Workload(8, 128, 64, "w"))
+        full_grid = system.schedule_stats()["candidates_evaluated"]
+        system.prepare(Workload(8, 192, 64, "w"))  # new bucket, near neighbor
+        stats = system.schedule_stats()
+        assert stats["warm_solves"] == 1
+        assert stats["candidates_evaluated"] < 2 * full_grid
+
+    def test_full_resolve_policy_never_reuses(self):
+        system = alisa(FULL_RESOLVE_POLICY)
+        workload = Workload(8, 128, 64, "w")
+        system.prepare(workload)
+        system.prepare(workload)
+        stats = system.schedule_stats()
+        assert stats["full_solves"] == 2
+        assert stats["exact_hits"] == 0
+
+    def test_shared_cache_carries_across_systems(self):
+        cache = ScheduleCache()
+        workload = Workload(8, 128, 64, "w")
+        alisa(cache=cache).prepare(workload)
+        second = alisa(cache=cache)
+        second.prepare(workload)
+        assert cache.stats.exact_hits == 1
+        assert cache.stats.full_solves == 1
+
+    def test_ablation_flags_namespace_the_cache(self):
+        cache = ScheduleCache()
+        workload = Workload(8, 128, 64, "w")
+        alisa(cache=cache).prepare(workload)
+        norecompute = AlisaSystem(MODEL, V100_16GB_NODE, kv_sparsity=0.8,
+                                  enable_recomputation=False,
+                                  schedule_cache=cache)
+        norecompute.prepare(workload)
+        # Different context, so the second prepare cannot hit the first's
+        # entries — and its schedule must still honour beta == 0.
+        assert cache.stats.exact_hits == 0
+        assert cache.stats.full_solves == 2
+        assert norecompute.schedule_solution.config.recompute_ratio == 0.0
+
+
+class TestCacheCorrectnessInvariant:
+    """A served schedule costs within tolerance of a cold full grid solve."""
+
+    @staticmethod
+    def _cold_cost(opt_cost_model, workload) -> float:
+        optimizer = SchedulerOptimizer(opt_cost_model, workload, SWA,
+                                       kv_dtype="int8")
+        return optimizer.solve().estimated_time
+
+    @staticmethod
+    def _served_cost(opt_cost_model, system, workload) -> float:
+        optimizer = SchedulerOptimizer(opt_cost_model, workload, SWA,
+                                       kv_dtype="int8")
+        budget = gpu_kv_budget_tokens(opt_cost_model, workload, "int8")
+        return optimizer.evaluate(system.schedule_solution.config, budget)
+
+    @given(batch=st.integers(min_value=1, max_value=32),
+           input_len=st.integers(min_value=32, max_value=320),
+           output_len=st.integers(min_value=8, max_value=160),
+           delta_s=st.integers(min_value=-48, max_value=48),
+           delta_n=st.integers(min_value=-48, max_value=48))
+    @settings(max_examples=25, deadline=None)
+    def test_warm_and_canonical_solves_within_tolerance(
+            self, opt_cost_model, batch, input_len, output_len, delta_s,
+            delta_n):
+        first = Workload(batch, input_len, output_len, "first")
+        second = Workload(batch, max(32, input_len + delta_s),
+                          max(8, output_len + delta_n), "second")
+        system = alisa()
+        system.prepare(first)
+        system.prepare(second)  # exact hit, canonical hit, or warm solve
+        served = self._served_cost(opt_cost_model, system, second)
+        cold = self._cold_cost(opt_cost_model, second)
+        tolerance = system.schedule_policy.tolerance
+        assert served <= cold * (1.0 + tolerance) + 1e-12

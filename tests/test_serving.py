@@ -6,6 +6,11 @@ import pytest
 from repro._common import ConfigurationError
 from repro.baselines import FlexGenSystem, VLLMSystem
 from repro.core.engine import AlisaSystem
+from repro.core.schedule_cache import (
+    FULL_RESOLVE_POLICY,
+    ScheduleCache,
+    SchedulePolicy,
+)
 from repro.evaluation.metrics import percentiles, serving_goodput
 from repro.experiments import list_experiments, run_experiment
 from repro.hardware.presets import V100_16GB_NODE
@@ -210,6 +215,60 @@ class TestContinuousBatchingEngine:
             assert trace.throughput > 0
 
 
+class TestIncrementalScheduling:
+    """Serving behaviour of the scheduler cache (repro.core.schedule_cache)."""
+
+    REQUESTS = dict(rate=16.0, input_len=256, output_len=128, seed=5)
+
+    def _serve(self, policy=None, cache=None, num=12):
+        requests = generate_requests(num, **self.REQUESTS)
+        engine = ContinuousBatchingEngine(
+            AlisaSystem(MODEL, V100_16GB_NODE, kv_sparsity=0.8,
+                        schedule_policy=policy, schedule_cache=cache))
+        return engine.serve(requests)
+
+    def test_exact_mode_reproduces_full_resolve_byte_identically(self):
+        incremental_memo = self._serve(SchedulePolicy(exact=True))
+        full_resolve = self._serve(FULL_RESOLVE_POLICY)
+        for cached, reference in zip(incremental_memo.records,
+                                     full_resolve.records):
+            assert cached == reference
+        assert incremental_memo.summary() == full_resolve.summary()
+
+    def test_default_mode_drift_is_bounded(self):
+        incremental = self._serve().summary()
+        exact = self._serve(FULL_RESOLVE_POLICY).summary()
+        for metric in ("p50_ttft_s", "p99_ttft_s", "p50_tpot_s",
+                       "p99_tpot_s", "duration_s"):
+            assert incremental[metric] == pytest.approx(exact[metric],
+                                                        rel=0.05)
+
+    def test_serve_reports_per_serve_solver_stats(self):
+        trace = self._serve()
+        stats = trace.metadata["scheduler"]
+        assert stats["full_solves"] >= 1
+        searches = (stats["exact_hits"] + stats["canonical_hits"]
+                    + stats["warm_solves"] + stats["full_solves"])
+        # One re-solve per decode epoch plus one per prefill shape.
+        assert searches >= trace.metadata["num_epochs"]
+        assert "scheduler" not in flexgen_engine().serve(
+            generate_requests(4, **self.REQUESTS)).metadata
+
+    def test_shared_cache_across_engines_skips_research(self):
+        cache = ScheduleCache()
+        self._serve(cache=cache)
+        solves_first = cache.stats.full_solves + cache.stats.warm_solves
+        self._serve(cache=cache)
+        solves_second = (cache.stats.full_solves + cache.stats.warm_solves
+                         - solves_first)
+        assert solves_second == 0  # identical trace: every epoch memoized
+
+    def test_cache_injection_rejected_for_non_planning_systems(self):
+        with pytest.raises(ConfigurationError):
+            ContinuousBatchingEngine(FlexGenSystem(MODEL, V100_16GB_NODE),
+                                     schedule_cache=ScheduleCache())
+
+
 class TestServingExperiment:
     def test_registered(self):
         assert "serving_rate_sweep" in list_experiments()
@@ -240,3 +299,19 @@ class TestServingExperiment:
         vllm = result.filter(system="vllm", rate_req_per_s=16.0)[0]
         assert alisa["kv_budget_tokens"] > vllm["kv_budget_tokens"]
         assert alisa["p99_ttft_s"] <= vllm["p99_ttft_s"]
+
+    def test_rows_report_solver_stats(self, result):
+        alisa_rows = result.filter(system="alisa")
+        assert any(row["solver_full_solves"] + row["solver_warm_solves"] > 0
+                   for row in alisa_rows)
+        for row in result.filter(system="vllm"):
+            assert row["solver_full_solves"] == 0
+
+    def test_exact_schedules_knob_is_recorded(self):
+        result = run_experiment("serving_rate_sweep", rates=(4.0,),
+                                num_requests=4, input_len=64, output_len=32,
+                                exact_schedules=True)
+        assert result.notes["exact_schedules"] is True
+        alisa_row = result.filter(system="alisa")[0]
+        assert alisa_row["solver_warm_solves"] == 0
+        assert alisa_row["solver_canonical_hits"] == 0

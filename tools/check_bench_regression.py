@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Fail CI when benchmark wall-clock regresses against a committed baseline.
+
+Compares a fresh pytest-benchmark JSON against a baseline JSON committed in
+the repository (``benchmarks/baselines/``) and exits non-zero if any
+benchmark's mean time exceeds the baseline by more than the allowed
+regression (default 20%).
+
+Because the suite is interpreter-bound, absolute times shift with the
+machine.  ``--calibrate SUBSTRING`` selects a calibration benchmark present
+in both files (see ``benchmarks/test_bench_calibration.py``) and divides
+every mean by the machine's calibration mean, so the gate compares
+machine-normalized times.
+
+Usage::
+
+    python tools/check_bench_regression.py \
+        --current BENCH_serving.json \
+        --baseline benchmarks/baselines/BENCH_serving.json \
+        --max-regression 0.20 --calibrate calibration
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> dict[str, float]:
+    with open(path) as handle:
+        data = json.load(handle)
+    return {bench["name"]: bench["stats"]["mean"]
+            for bench in data["benchmarks"]}
+
+
+def calibration_mean(means: dict[str, float], needle: str, path: str) -> float:
+    matches = [mean for name, mean in means.items() if needle in name]
+    if not matches:
+        raise SystemExit(f"no calibration benchmark matching {needle!r} "
+                         f"in {path}")
+    return sum(matches) / len(matches)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="pytest-benchmark JSON from this run")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline pytest-benchmark JSON")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed relative slowdown (0.20 = +20%%)")
+    parser.add_argument("--calibrate", default=None,
+                        help="substring of a calibration benchmark used to "
+                             "normalize for machine speed")
+    args = parser.parse_args(argv)
+
+    current = load_means(args.current)
+    baseline = load_means(args.baseline)
+
+    scale = 1.0
+    if args.calibrate:
+        scale = (calibration_mean(baseline, args.calibrate, args.baseline)
+                 / calibration_mean(current, args.calibrate, args.current))
+        print(f"machine calibration scale: {scale:.3f} "
+              f"(>1 means this machine is faster than the baseline's)")
+
+    failures = []
+    header = f"{'benchmark':<55s} {'baseline':>10s} {'current':>10s} {'ratio':>7s}"
+    print(header)
+    print("-" * len(header))
+    for name, base_mean in sorted(baseline.items()):
+        if args.calibrate and args.calibrate in name:
+            continue
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            print(f"{name:<55s} {base_mean:>9.3f}s {'MISSING':>10s}")
+            continue
+        normalized = current[name] * scale
+        ratio = normalized / base_mean
+        flag = ""
+        if ratio > 1.0 + args.max_regression:
+            failures.append(
+                f"{name}: {normalized:.3f}s vs baseline {base_mean:.3f}s "
+                f"({(ratio - 1.0):+.1%} > +{args.max_regression:.0%})"
+            )
+            flag = "  REGRESSION"
+        print(f"{name:<55s} {base_mean:>9.3f}s {normalized:>9.3f}s "
+              f"{ratio:>6.2f}x{flag}")
+
+    new_benchmarks = sorted(set(current) - set(baseline))
+    if new_benchmarks:
+        print(f"(not gated — new benchmarks: {', '.join(new_benchmarks)})")
+
+    if failures:
+        print("\nperf regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print("If the slowdown is intended, regenerate the baseline (see "
+              "README.md, 'Benchmarks and the CI perf gate').",
+              file=sys.stderr)
+        return 1
+    print("\nperf regression gate passed "
+          f"(allowed +{args.max_regression:.0%}).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
