@@ -28,3 +28,20 @@ def test_bench_serving_bursty_sharegpt(benchmark, record_rows):
     for row in result.rows:
         assert row["num_requests"] == 16
         assert row["throughput_tokens_per_s"] > 0
+
+
+@pytest.mark.benchmark(group="serving")
+def test_bench_serving_multi_gpu_tp(benchmark, record_rows):
+    """Sharded serving: single-GPU vs 2-GPU tensor parallel in one sweep."""
+    result = benchmark(run_experiment, "serving_rate_sweep",
+                       rates=(8.0, 32.0), num_requests=16,
+                       input_len=256, output_len=128,
+                       parallelism=("none", "tp-2"))
+    record_rows(benchmark, result)
+    single = result.filter(system="alisa", parallelism="none",
+                           rate_req_per_s=32.0)[0]
+    sharded = result.filter(system="alisa", parallelism="tp-2",
+                            rate_req_per_s=32.0)[0]
+    assert sharded["kv_budget_tokens"] > single["kv_budget_tokens"]
+    assert sharded["p99_ttft_s"] <= single["p99_ttft_s"]
+    assert sharded["comm_time_share"] > 0.0

@@ -105,7 +105,7 @@ class VLLMSystem(InferenceSimulator):
 
         # Preempted waves pay one swap-out + one swap-in of their KV blocks.
         swap_bytes = self.kv_token_bytes(wave_workload) * workload.max_seq_len
-        swap_time = 2.0 * swap_bytes / self.hardware.pcie_bandwidth
+        swap_time = 2.0 * swap_bytes / self.cost_model.effective_pcie_bandwidth
 
         scaled = InferenceTrace(
             system=trace.system, model=trace.model,

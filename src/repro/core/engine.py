@@ -59,7 +59,13 @@ from repro.workloads.descriptors import Workload
 
 
 class AlisaSystem(InferenceSimulator):
-    """ALISA inference simulator for a single GPU-CPU node."""
+    """ALISA inference simulator for a GPU-CPU node (single- or multi-GPU).
+
+    On a multi-GPU node pass a :class:`~repro.systems.cost.ParallelismSpec`
+    (or accept the tensor-parallel default) — the cost model then prices
+    sharded compute, collectives, and the aggregate host links, and the
+    schedule cache namespaces its entries by the shard shape.
+    """
 
     name = "alisa"
     # SWA's globally dynamic token set is only known once the local attention
@@ -96,10 +102,21 @@ class AlisaSystem(InferenceSimulator):
         # only workload dimension the per-sequence-length costs depend on).
         self._profile_caches: dict[int, tuple[dict, dict]] = {}
         # Namespaces cache keys so one ScheduleCache can back many systems.
+        # The shard shape (parallelism mode/degree/microbatching) and the
+        # bandwidth/latency numbers that price a schedule are part of the
+        # context — the node *name* alone is not enough, since ablation
+        # helpers (with_pcie_bandwidth) and dataclasses.replace can change
+        # a node's links without renaming it.
+        link = self.hardware.interconnect
         self._schedule_context = (
             "alisa", self.config.name, self.hardware.name, self.kv_dtype,
             self.swa.caching_ratio, self.swa.local_fraction,
             self.weights_on_gpu, self.enable_recomputation,
+            self.parallelism.mode, self.parallelism.degree,
+            self.parallelism.pp_microbatches,
+            self.hardware.pcie_bandwidth, self.hardware.gpu_count,
+            None if link is None else (link.name, link.bandwidth,
+                                       link.latency_s),
         )
 
     # ------------------------------------------------------------------ #

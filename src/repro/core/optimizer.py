@@ -69,41 +69,26 @@ class CostParameters:
         return moved_tokens * self.kv_bytes_per_token / self.pcie_bandwidth
 
 
-@dataclass(frozen=True)
-class MemoryBudget:
-    """GPU memory left for KV tensors after weights and activations."""
-
-    gpu_capacity_bytes: float
-    weight_bytes: float
-    activation_bytes: float
-    reserve_fraction: float = 0.05
-
-    def __post_init__(self) -> None:
-        validate_fraction(reserve_fraction=self.reserve_fraction)
-
-    @property
-    def kv_budget_bytes(self) -> float:
-        budget = (self.gpu_capacity_bytes * (1.0 - self.reserve_fraction)
-                  - self.weight_bytes - self.activation_bytes)
-        return max(0.0, budget)
-
-
 def gpu_kv_budget_tokens(cost_model: LLMCostModel, workload: Workload,
                          kv_dtype: str = "fp16",
                          weights_on_gpu: bool = True,
                          reserve_fraction: float = 0.05) -> int:
-    """How many KV tokens fit in GPU memory for this model and workload."""
-    budget = MemoryBudget(
-        gpu_capacity_bytes=cost_model.hardware.gpu.memory_bytes,
-        weight_bytes=cost_model.weight_bytes() if weights_on_gpu else 0.0,
-        activation_bytes=cost_model.activation_bytes(workload.batch_size,
-                                                     workload.input_len),
-        reserve_fraction=reserve_fraction,
-    )
+    """How many KV tokens fit in node GPU memory for this model and workload.
+
+    The byte accounting (multi-GPU aggregation, weights charged once,
+    activations per GPU) is
+    :meth:`~repro.systems.cost.LLMCostModel.kv_budget_bytes` — the same
+    source the serving engine's admission budget uses, so the scheduler's
+    capacity constraint can never diverge from admission control.
+    """
+    validate_fraction(reserve_fraction=reserve_fraction)
+    budget_bytes = max(0.0, cost_model.kv_budget_bytes(
+        workload.batch_size, workload.input_len,
+        weights_on_gpu=weights_on_gpu, reserve_fraction=reserve_fraction))
     per_token = cost_model.kv_bytes_per_token(workload.batch_size, kv_dtype)
     if per_token <= 0:
         raise ConfigurationError("per-token KV size must be positive")
-    return max(1, int(budget.kv_budget_bytes // per_token))
+    return max(1, int(budget_bytes // per_token))
 
 
 def phase1_end_step(budget_tokens: int, workload: Workload) -> int:
@@ -225,7 +210,7 @@ class _FastObjective:
         per_token = cost_model.kv_bytes_per_token(workload.batch_size,
                                                   kv_dtype)
         self._transfer_per_token = \
-            per_token / cost_model.hardware.pcie_bandwidth
+            per_token / cost_model.effective_pcie_bandwidth
         self._cost_model = cost_model
         self._batch_size = workload.batch_size
         # Python-list views for the Phase III scalar recurrence.

@@ -18,6 +18,19 @@ request counts.  This module makes the re-solve incremental:
   (``alpha``, ``beta``, and ``p2`` as a fraction of the post-``p1`` horizon)
   that can be re-derived for any concrete workload shape.
 
+Public contract
+---------------
+One :class:`ScheduleCache` instance may safely back any number of
+simulators and serving engines concurrently: every key is prefixed with a
+*context* tuple built by the owning simulator (model, hardware, KV dtype,
+SWA parameters, ablation flags, and — on multi-GPU nodes — the parallelism
+mode, degree, and microbatch count, i.e. the shard shape), so entries from
+different systems, nodes, or shard shapes can never be served to each
+other.  Lookups mutate only the hit counters in :attr:`ScheduleCache.stats`;
+``store_*`` never evicts (shapes are few and solutions small).  An exact
+hit is byte-identical to re-solving the same shape; canonical and
+warm-started paths are within the documented tolerance below.
+
 Optimality tolerance
 --------------------
 The search objective (Equation 5) is a sum of per-step costs, each

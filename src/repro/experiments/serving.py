@@ -7,6 +7,14 @@ goodput metrics a serving deployment cares about.  The Figure 9 crossover
 reappears as an *admission* effect — ALISA's INT8 KV cache and sparse
 attention let it keep more requests in flight, so its advantage grows with
 the arrival rate exactly as it grows with batch size offline.
+
+The sweep also carries a **parallelism axis**: each entry of ``parallelism``
+(``"none"``, ``"tp-2"``, ``"pp-4"``, ...) builds an ``xN`` node from the
+model's single-GPU preset at equal per-GPU memory and serves the same
+arrival traces through the sharded engine, so one invocation compares
+1/2/4-GPU nodes under tensor and pipeline parallelism.  Per-configuration
+rows report the communication-time share and peak per-shard occupancy next
+to the latency percentiles.
 """
 
 from __future__ import annotations
@@ -15,8 +23,9 @@ from repro.baselines import BASELINE_SYSTEMS
 from repro.core.engine import AlisaSystem
 from repro.core.schedule_cache import SchedulePolicy
 from repro.experiments.base import ExperimentResult, register
-from repro.hardware.presets import hardware_for_model
+from repro.hardware.presets import get_interconnect, hardware_for_model, multi_gpu
 from repro.serving import ContinuousBatchingEngine
+from repro.systems.cost import ParallelismSpec
 from repro.workloads.arrivals import generate_requests
 
 #: Systems compared in the serving sweep: constructors keyed by name.
@@ -33,6 +42,24 @@ SOLVER_STAT_COLUMNS = ("exact_hits", "canonical_hits", "warm_solves",
                        "full_solves")
 
 
+def max_sustained_rate(result: ExperimentResult, system: str = "alisa",
+                       parallelism: str = "none",
+                       max_queueing_delay_s: float = 1.0) -> float:
+    """Highest swept arrival rate a configuration sustains.
+
+    A rate counts as *sustained* when the mean queueing delay stays below
+    ``max_queueing_delay_s`` — past the capacity knee, FCFS admission makes
+    the queue (and with it the mean delay) grow with every extra request,
+    so this threshold cleanly separates under- from over-subscribed rates.
+    Returns 0.0 when no swept rate is sustained.
+    """
+    label = ParallelismSpec.parse(parallelism).label
+    rates = [row["rate_req_per_s"]
+             for row in result.filter(system=system, parallelism=label)
+             if row["mean_queueing_delay_s"] <= max_queueing_delay_s]
+    return max(rates, default=0.0)
+
+
 @register("serving_rate_sweep",
           "Online continuous-batching latency and goodput of ALISA vs "
           "vLLM vs FlexGen under an arrival-rate sweep")
@@ -45,15 +72,24 @@ def serving_rate_sweep(model: str = "opt-6.7b",
                        seed: int = 0,
                        ttft_slo_s: float = 5.0,
                        tpot_slo_s: float = 0.2,
-                       exact_schedules: bool = False) -> ExperimentResult:
+                       exact_schedules: bool = False,
+                       parallelism: tuple[str, ...] = ("none",),
+                       interconnect: str = "nvlink",
+                       pp_microbatches: int = 4) -> ExperimentResult:
     """Sweep the request arrival rate and report serving metrics.
 
     ``input_len``/``output_len`` of ``None`` sample ShareGPT-style
     heavy-tailed lengths instead of the fixed Alpaca-like shape.
 
-    Each system is built once and reused across the whole sweep, so
-    ALISA's schedule cache stays warm from rate to rate; per-serve solver
-    counters are reported in the ``solver_*`` columns.
+    ``parallelism`` entries (``"none"``, ``"tp-2"``, ``"pp-4"``, ...) are
+    served on an ``xN`` node derived from the model's preset at equal
+    per-GPU memory, joined by the named ``interconnect`` preset; every
+    (system, parallelism) pair sees the same arrival traces, so rows are
+    directly comparable across the axis.
+
+    Each system is built once per parallelism entry and reused across the
+    whole sweep, so ALISA's schedule cache stays warm from rate to rate;
+    per-serve solver counters are reported in the ``solver_*`` columns.
     ``exact_schedules=True`` makes ALISA re-solve with the paper's full
     grid search for every new epoch shape (byte-identical schedules, much
     slower at high arrival rates).
@@ -62,26 +98,38 @@ def serving_rate_sweep(model: str = "opt-6.7b",
         "serving_rate_sweep",
         "Serving: TTFT/TPOT percentiles and goodput vs arrival rate",
     )
-    hardware = hardware_for_model(model)
+    base_hardware = hardware_for_model(model)
+    link = get_interconnect(interconnect)
     policy = SchedulePolicy(exact=exact_schedules)
-    engines = {}
-    for system_name, build in SERVING_SYSTEMS.items():
-        if system_name == "alisa":
-            simulator = AlisaSystem(model, hardware, kv_sparsity=0.8,
-                                    schedule_policy=policy)
-        else:
-            simulator = build(model, hardware)
-        engines[system_name] = ContinuousBatchingEngine(simulator)
+    engines: dict[tuple[str, str], ContinuousBatchingEngine] = {}
+    specs: dict[str, ParallelismSpec] = {}
+    for entry in parallelism:
+        spec = ParallelismSpec.parse(entry, pp_microbatches=pp_microbatches)
+        specs[spec.label] = spec
+        hardware = multi_gpu(base_hardware, spec.degree, link)
+        for system_name, build in SERVING_SYSTEMS.items():
+            if system_name == "alisa":
+                simulator = AlisaSystem(model, hardware, kv_sparsity=0.8,
+                                        schedule_policy=policy,
+                                        parallelism=spec)
+            else:
+                simulator = build(model, hardware, parallelism=spec)
+            engines[(spec.label, system_name)] = \
+                ContinuousBatchingEngine(simulator)
     for rate in rates:
         requests = generate_requests(num_requests, rate, pattern=pattern,
                                      seed=seed, input_len=input_len,
                                      output_len=output_len)
-        for system_name, engine in engines.items():
+        for (label, system_name), engine in engines.items():
+            spec = specs[label]
             trace = engine.serve(requests)
             summary = trace.summary()
             solver = trace.metadata.get("scheduler", {})
+            shards = trace.metadata["shards"]
             result.add(
-                model=model, hardware=hardware.name, system=system_name,
+                model=model, hardware=engine.simulator.hardware.name,
+                system=system_name, parallelism=label,
+                gpu_count=spec.degree,
                 rate_req_per_s=rate, pattern=pattern,
                 num_requests=summary["num_requests"],
                 duration_s=summary["duration_s"],
@@ -96,12 +144,18 @@ def serving_rate_sweep(model: str = "opt-6.7b",
                 p99_latency_s=summary["p99_latency_s"],
                 kv_budget_tokens=trace.metadata["kv_budget_tokens"],
                 peak_reserved_tokens=trace.metadata["peak_reserved_tokens"],
+                peak_shard_occupancy=max(
+                    (shard["peak_occupancy"] for shard in shards),
+                    default=0.0),
+                comm_time_share=trace.metadata["comm_time_share"],
                 **{f"solver_{name}": solver.get(name, 0)
                    for name in SOLVER_STAT_COLUMNS},
             )
     result.notes["ttft_slo_s"] = ttft_slo_s
     result.notes["tpot_slo_s"] = tpot_slo_s
     result.notes["exact_schedules"] = exact_schedules
+    result.notes["parallelism"] = tuple(specs)
+    result.notes["interconnect"] = link.name
     result.notes["lengths"] = (
         "sharegpt" if input_len is None or output_len is None
         else f"fixed s={input_len} n={output_len}"

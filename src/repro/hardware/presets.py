@@ -12,6 +12,14 @@ numbers that drive the cost model.  Compute throughputs are the published
 dense FP16 tensor throughputs de-rated to a realistic attainable fraction,
 because the reproduction cares about relative behaviour (compute vs. I/O
 crossovers), not peak-spec marketing numbers.
+
+Beyond the paper's single-GPU nodes, :class:`HardwareSpec` also describes
+multi-GPU nodes: ``gpu_count`` identical GPUs joined by an
+:class:`InterconnectSpec` (NVLink- or PCIe-P2P-class bandwidth and
+latency), each with its own host link of ``pcie_bandwidth``.  The
+:func:`multi_gpu` helper derives an ``xN`` node from any single-GPU
+preset at equal per-GPU memory; 2- and 4-GPU presets are registered in
+:data:`HARDWARE_PRESETS` for the serving sweep's parallelism axis.
 """
 
 from __future__ import annotations
@@ -62,16 +70,81 @@ class CPUSpec:
 
 
 @dataclass(frozen=True)
+class InterconnectSpec:
+    """The GPU-to-GPU link of a multi-GPU node.
+
+    ``bandwidth`` is the attainable per-GPU link bandwidth used by the
+    collective-communication cost terms (ring all-reduce for tensor
+    parallelism, point-to-point stage transfers for pipeline parallelism);
+    ``latency_s`` is the per-message launch/synchronization latency charged
+    once per communication step.
+    """
+
+    name: str
+    bandwidth: float
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        validate_positive(bandwidth=self.bandwidth)
+        if self.latency_s < 0:
+            raise ConfigurationError("latency_s must be non-negative")
+
+
+#: NVLink-class GPU interconnect (attainable ring bandwidth per GPU).
+NVLINK = InterconnectSpec("nvlink", bandwidth=250e9, latency_s=3e-6)
+#: PCIe peer-to-peer GPU interconnect (no NVLink bridge).
+PCIE_P2P = InterconnectSpec("pcie-p2p", bandwidth=24e9, latency_s=10e-6)
+
+INTERCONNECT_PRESETS: dict[str, InterconnectSpec] = {
+    spec.name: spec for spec in (NVLINK, PCIE_P2P)
+}
+
+
+def get_interconnect(name: str) -> InterconnectSpec:
+    """Look up an interconnect preset by name."""
+    try:
+        return INTERCONNECT_PRESETS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown interconnect preset {name!r}; "
+            f"known: {sorted(INTERCONNECT_PRESETS)}"
+        ) from exc
+
+
+@dataclass(frozen=True)
 class HardwareSpec:
-    """A single GPU-CPU inference node."""
+    """A GPU-CPU inference node: ``gpu_count`` identical GPUs plus a host.
+
+    ``pcie_bandwidth`` is the CPU-GPU bandwidth *per GPU* (each GPU has its
+    own host link); ``interconnect`` joins the GPUs of a multi-GPU node and
+    is required whenever ``gpu_count > 1``.
+    """
 
     name: str
     gpu: GPUSpec
     cpu: CPUSpec
     pcie_bandwidth: float
+    gpu_count: int = 1
+    interconnect: InterconnectSpec | None = None
 
     def __post_init__(self) -> None:
-        validate_positive(pcie_bandwidth=self.pcie_bandwidth)
+        validate_positive(pcie_bandwidth=self.pcie_bandwidth,
+                          gpu_count=self.gpu_count)
+        if self.gpu_count > 1 and self.interconnect is None:
+            raise ConfigurationError(
+                f"node {self.name!r} has {self.gpu_count} GPUs but no "
+                "interconnect; pass an InterconnectSpec"
+            )
+
+    @property
+    def node_gpu_memory_bytes(self) -> float:
+        """Aggregate GPU memory across all GPUs of the node."""
+        return self.gpu.memory_bytes * self.gpu_count
+
+    @property
+    def node_pcie_bandwidth(self) -> float:
+        """Aggregate CPU-GPU bandwidth (each GPU drives its own host link)."""
+        return self.pcie_bandwidth * self.gpu_count
 
     def with_pcie_bandwidth(self, bandwidth: float) -> "HardwareSpec":
         """Copy of this node with a different CPU-GPU bandwidth (ablations)."""
@@ -106,9 +179,32 @@ A100_40GB_NODE = HardwareSpec("a100-40gb-node", A100_GPU_40GB, XEON_HOST_128GB,
 H100_80GB_NODE = HardwareSpec("h100-80gb-node", H100_GPU_80GB, XEON_HOST_128GB,
                               PAPER_PCIE_BANDWIDTH)
 
+def multi_gpu(base: HardwareSpec, gpu_count: int,
+              interconnect: InterconnectSpec = NVLINK) -> HardwareSpec:
+    """An ``xN`` node built from ``base`` at equal per-GPU memory.
+
+    Every GPU keeps the per-GPU memory, compute, and host-link bandwidth of
+    ``base``; only the GPU count and the GPU-to-GPU interconnect change, so
+    single- vs. multi-GPU comparisons isolate the effect of sharding.
+    """
+    validate_positive(gpu_count=gpu_count)
+    if gpu_count == 1:
+        return base
+    return replace(base, name=f"{base.name}-x{gpu_count}-{interconnect.name}",
+                   gpu_count=gpu_count, interconnect=interconnect)
+
+
+#: 2- and 4-GPU NVLink variants of the paper's nodes (equal per-GPU memory).
+V100_16GB_X2_NODE = multi_gpu(V100_16GB_NODE, 2)
+V100_16GB_X4_NODE = multi_gpu(V100_16GB_NODE, 4)
+H100_80GB_X2_NODE = multi_gpu(H100_80GB_NODE, 2)
+H100_80GB_X4_NODE = multi_gpu(H100_80GB_NODE, 4)
+
 HARDWARE_PRESETS: dict[str, HardwareSpec] = {
     spec.name: spec
-    for spec in (V100_16GB_NODE, V100_32GB_NODE, A100_40GB_NODE, H100_80GB_NODE)
+    for spec in (V100_16GB_NODE, V100_32GB_NODE, A100_40GB_NODE, H100_80GB_NODE,
+                 V100_16GB_X2_NODE, V100_16GB_X4_NODE,
+                 H100_80GB_X2_NODE, H100_80GB_X4_NODE)
 }
 
 

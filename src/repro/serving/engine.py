@@ -8,6 +8,36 @@ requests are admitted FCFS into the running batch whenever the GPU KV budget
 has room, every running request generates one token per iteration, and
 requests leave the batch the moment their last token is produced.
 
+Public contract
+---------------
+:meth:`ContinuousBatchingEngine.serve` consumes a list of
+:class:`~repro.workloads.arrivals.Request` and returns a
+:class:`~repro.serving.trace.ServingTrace` containing exactly one
+:class:`~repro.serving.trace.RequestRecord` per input request, with ordered
+timestamps ``arrival <= admission <= first_token <= completion``.  Requests
+are admitted strictly in ``(arrival_time, request_id)`` order (FCFS — the
+queue head blocks admission until it fits).  A request whose KV footprint
+can never fit raises
+:class:`~repro._common.ConfigurationError` up front rather than deadlocking
+or silently truncating.  Trace metadata reports the node KV budget, peak
+reservation, per-shard budgets/occupancy, epoch/step counts, PCIe traffic,
+communication-time share, and (for systems that plan offline) per-serve
+scheduler-cache counters.
+
+Sharded KV budgets (multi-GPU)
+------------------------------
+On a multi-GPU node the engine shards the node KV-token budget one shard
+per GPU (shard budgets differ by at most one token and sum exactly to the
+node budget).  Tensor parallelism splits every sequence's KV head-wise and
+pipeline parallelism splits it layer-wise, so each admitted request
+occupies ``ceil(max_seq_len / num_shards)`` tokens on *every* shard in
+lockstep; admission requires that per-shard footprint to fit the tightest
+shard.  The ceiling makes sharded admission slightly conservative — shards
+can never be overfilled by rounding.  With one shard this degenerates to
+exactly the single-GPU budget check, so 1-GPU serving traces are
+bit-identical to the pre-sharding engine (regression-pinned in
+``tests/test_serving_sharded.py``).
+
 Modelling choices (all deliberate simplifications at the same granularity as
 the paper's own cost model):
 
@@ -28,7 +58,10 @@ the paper's own cost model):
   mid-flight and vLLM-style preemption waves never trigger;
 * **inline prefill** — newly admitted requests are prefilled in one batched
   prefill that stalls decoding (ORCA's prioritized prefill iterations; no
-  chunked prefill).
+  chunked prefill);
+* **lockstep shards** — TP/PP shards advance together (collectives
+  synchronize every layer or stage), so one clock drives all shards and
+  communication time is part of each priced iteration.
 """
 
 from __future__ import annotations
@@ -82,6 +115,10 @@ class ContinuousBatchingEngine:
         several engines — e.g. one per arrival rate in a sweep — reuse each
         other's solved epoch shapes.  Ignored by simulators without a
         ``schedule_cache`` attribute.
+
+    The number of KV shards equals the simulator node's ``gpu_count`` (the
+    simulator's :class:`~repro.systems.cost.ParallelismSpec` already
+    validates that its degree matches).
     """
 
     def __init__(self, simulator: InferenceSimulator,
@@ -93,6 +130,7 @@ class ContinuousBatchingEngine:
         self.simulator = simulator
         self.max_batch_size = max_batch_size
         self.reserve_fraction = reserve_fraction
+        self.num_shards = simulator.hardware.gpu_count
         if schedule_cache is not None:
             if not hasattr(simulator, "schedule_cache"):
                 raise ConfigurationError(
@@ -123,37 +161,67 @@ class ContinuousBatchingEngine:
         )
         return self.simulator.gpu_kv_budget_tokens(probe, self.reserve_fraction)
 
+    def shard_budgets(self, node_budget_tokens: int) -> list[int]:
+        """Per-shard KV-token budgets (one shard per GPU).
+
+        The node budget is split as evenly as integers allow: shard budgets
+        differ by at most one token and always sum exactly to the node
+        budget, so no capacity is lost (or invented) by sharding.
+        """
+        shards = self.num_shards
+        base, remainder = divmod(node_budget_tokens, shards)
+        return [base + (1 if i < remainder else 0) for i in range(shards)]
+
+    def shard_footprint(self, request: Request) -> int:
+        """KV tokens ``request`` occupies on *each* shard once admitted.
+
+        TP shards a sequence's KV head-wise and PP layer-wise; either way
+        every shard holds an equal slice, rounded up so admission can never
+        overfill a shard.
+        """
+        return -(-request.max_seq_len // self.num_shards)
+
     def _fits(self, request: Request, running: list[_RunningRequest],
-              reserved_tokens: int, budget_tokens: int) -> bool:
+              shard_reserved_tokens: int, shard_limit_tokens: int) -> bool:
         if (self.max_batch_size is not None
                 and len(running) >= self.max_batch_size):
             return False
-        return reserved_tokens + request.max_seq_len <= budget_tokens
+        return (shard_reserved_tokens + self.shard_footprint(request)
+                <= shard_limit_tokens)
 
     # ------------------------------------------------------------------ #
     # serving loop
     # ------------------------------------------------------------------ #
     def serve(self, requests: list[Request]) -> ServingTrace:
         """Simulate serving ``requests`` and return the per-request trace."""
+        parallelism = self.simulator.parallelism
         trace = ServingTrace(
             system=self.simulator.name, model=self.simulator.config.name,
             metadata={"hardware": self.simulator.hardware.name,
-                      "kv_dtype": self.simulator.kv_dtype},
+                      "kv_dtype": self.simulator.kv_dtype,
+                      "parallelism": {"mode": parallelism.mode,
+                                      "degree": parallelism.degree,
+                                      "label": parallelism.label}},
         )
         solver_before = self.simulator.schedule_stats()
         if not requests:
             trace.metadata.update(kv_budget_tokens=0, peak_reserved_tokens=0,
                                   num_epochs=0, num_decode_steps=0,
-                                  pcie_bytes=0.0)
+                                  pcie_bytes=0.0, shards=[],
+                                  comm_time_s=0.0, comm_time_share=0.0)
             return trace
 
         budget = self.kv_budget_tokens(requests)
+        shard_budgets = self.shard_budgets(budget)
+        shard_limit = min(shard_budgets)
         for request in requests:
-            if request.max_seq_len > budget:
+            footprint = self.shard_footprint(request)
+            if footprint > shard_limit:
                 raise ConfigurationError(
-                    f"request {request.request_id} needs "
-                    f"{request.max_seq_len} KV tokens but the budget is "
-                    f"{budget}; it can never be admitted"
+                    f"request {request.request_id} needs {footprint} KV "
+                    f"tokens on each of {self.num_shards} shard(s) but the "
+                    f"tightest shard budget is {shard_limit} (node budget "
+                    f"{budget}); it can never be admitted"
                 )
 
         pending = deque(sorted(requests,
@@ -162,40 +230,66 @@ class ContinuousBatchingEngine:
         prefill_plans: dict[tuple[int, int, int], object] = {}
         memory = MemoryHierarchy.from_hardware(self.simulator.hardware)
         clock = 0.0
-        reserved = 0
+        reserved = 0          # node-level KV tokens across all shards
+        shard_reserved = 0    # per-shard tokens (shards fill in lockstep)
         peak_reserved = 0
+        peak_shard_reserved = 0
         num_epochs = 0
         num_steps = 0
+        comm_time = 0.0
 
         while pending or running:
             # FCFS admission: the queue head blocks until it fits, so
             # requests always enter the batch in arrival order.
             admitted: list[Request] = []
             while (pending and pending[0].arrival_time <= clock
-                   and self._fits(pending[0], running, reserved, budget)):
+                   and self._fits(pending[0], running, shard_reserved,
+                                  shard_limit)):
                 request = pending.popleft()
                 running.append(_RunningRequest(request, admission_time=clock))
                 reserved += request.max_seq_len
+                shard_reserved += self.shard_footprint(request)
                 admitted.append(request)
             peak_reserved = max(peak_reserved, reserved)
+            peak_shard_reserved = max(peak_shard_reserved, shard_reserved)
 
             if not running:
                 clock = max(clock, pending[0].arrival_time)
                 continue
 
             if admitted:
-                clock += self._prefill_time(admitted, memory, prefill_plans)
+                prefill, prefill_comm = self._prefill_time(admitted, memory,
+                                                           prefill_plans)
+                clock += prefill
+                comm_time += prefill_comm
 
             num_epochs += 1
-            clock, steps = self._decode_epoch(running, pending, reserved,
-                                              budget, clock, memory, trace)
+            clock, steps, epoch_comm = self._decode_epoch(
+                running, pending, shard_reserved, shard_limit, clock, memory,
+                trace)
             num_steps += steps
+            comm_time += epoch_comm
             reserved = sum(r.request.max_seq_len for r in running)
+            shard_reserved = sum(self.shard_footprint(r.request)
+                                 for r in running)
 
         trace.metadata.update(
             kv_budget_tokens=budget, peak_reserved_tokens=peak_reserved,
             num_epochs=num_epochs, num_decode_steps=num_steps,
             pcie_bytes=memory.link.total_bytes,
+            # One entry per shard even though TP/PP shards fill in lockstep
+            # today (identical peaks): the per-shard shape is the interface
+            # data-parallel placement (see ROADMAP) will populate with
+            # genuinely divergent values.
+            shards=[
+                {"shard": index, "budget_tokens": shard_budget,
+                 "peak_reserved_tokens": peak_shard_reserved,
+                 "peak_occupancy": (peak_shard_reserved / shard_budget
+                                    if shard_budget > 0 else 0.0)}
+                for index, shard_budget in enumerate(shard_budgets)
+            ],
+            comm_time_s=comm_time,
+            comm_time_share=comm_time / clock if clock > 0 else 0.0,
         )
         solver_after = self.simulator.schedule_stats()
         if solver_after:
@@ -209,9 +303,12 @@ class ContinuousBatchingEngine:
 
     # ------------------------------------------------------------------ #
     def _prefill_time(self, admitted: list[Request],
-                      memory: MemoryHierarchy, plan_cache: dict) -> float:
+                      memory: MemoryHierarchy,
+                      plan_cache: dict) -> tuple[float, float]:
         """Batched prefill of the newly admitted requests.
 
+        Returns ``(wall_clock_time, communication_time)`` — the latter is
+        the interconnect share of the prefill pass (0 on a single GPU).
         Prefill plans are deterministic per workload shape, so they are
         cached across admission events: repeated shapes (every admission in
         a fixed-length trace) skip the simulator's ``prepare`` — for ALISA
@@ -229,14 +326,20 @@ class ContinuousBatchingEngine:
             self.simulator.prepare(workload)
             plan = self.simulator.plan_prefill(workload)
             plan_cache[key] = plan
-        return self.simulator.prefill_timing(plan, workload, memory)
+        time = self.simulator.prefill_timing(plan, workload, memory)
+        comm = self.simulator.parallel_comm_time(workload,
+                                                 query_len=workload.input_len)
+        return time, comm
 
     def _decode_epoch(self, running: list[_RunningRequest],
-                      pending: deque, reserved: int, budget: int,
+                      pending: deque, shard_reserved: int, shard_limit: int,
                       clock: float, memory: MemoryHierarchy,
-                      trace: ServingTrace) -> tuple[float, int]:
+                      trace: ServingTrace) -> tuple[float, int, float]:
         """Decode with fixed batch composition until a completion or an
-        admissible arrival ends the epoch."""
+        admissible arrival ends the epoch.
+
+        Returns ``(clock, steps, communication_time)``.
+        """
         workload = Workload(
             batch_size=len(running),
             input_len=max(r.context_length for r in running),
@@ -247,6 +350,7 @@ class ContinuousBatchingEngine:
         # Re-place the already-resident context; its prefill was charged when
         # each request was admitted, so only placement state is initialized.
         self.simulator.plan_prefill(workload)
+        comm_per_step = self.simulator.parallel_comm_time(workload)
 
         steps = 0
         for step in range(workload.output_len):
@@ -275,9 +379,10 @@ class ContinuousBatchingEngine:
                 ))
             if finished:
                 # The epoch ends here; serve() recomputes the reservation
-                # total from the surviving batch before the next admission.
+                # totals from the surviving batch before the next admission.
                 break
             if (pending and pending[0].arrival_time <= clock
-                    and self._fits(pending[0], running, reserved, budget)):
+                    and self._fits(pending[0], running, shard_reserved,
+                                   shard_limit)):
                 break
-        return clock, steps
+        return clock, steps, steps * comm_per_step

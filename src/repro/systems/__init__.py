@@ -1,6 +1,11 @@
 """System-level substrates: memory devices, PCIe link, cost model, traces."""
 
-from repro.systems.cost import AttentionBreakdown, LLMCostModel, OpCost
+from repro.systems.cost import (
+    AttentionBreakdown,
+    LLMCostModel,
+    OpCost,
+    ParallelismSpec,
+)
 from repro.systems.memory import MemoryDevice, MemoryHierarchy, PCIeLink
 from repro.systems.trace import InferenceTrace, StepTiming
 
@@ -11,6 +16,7 @@ __all__ = [
     "MemoryDevice",
     "MemoryHierarchy",
     "OpCost",
+    "ParallelismSpec",
     "PCIeLink",
     "StepTiming",
 ]

@@ -13,6 +13,28 @@ CPU-GPU movement is charged against the PCIe link by the system simulators.
 The absolute numbers are approximations; the experiments only rely on the
 relative behaviour (compute vs. I/O crossovers, scaling with batch size and
 sequence length), which the roofline captures.
+
+Multi-GPU parallelism
+---------------------
+A :class:`ParallelismSpec` layers tensor- or pipeline-parallel execution on
+top of the single-GPU roofline:
+
+* **tensor parallelism** (``mode="tp"``) shards every GEMM and the KV cache
+  head-wise across ``degree`` GPUs, dividing per-step compute by the degree
+  and adding two ring all-reduces of the layer activations per layer
+  (:meth:`LLMCostModel.tp_allreduce_time`);
+* **pipeline parallelism** (``mode="pp"``) splits the layer stack into
+  ``degree`` stages, dividing per-step compute by the degree, inflating it
+  by the GPipe bubble factor ``(m + d - 1) / m`` for ``m`` microbatches,
+  and adding ``degree - 1`` point-to-point activation transfers per pass
+  (:meth:`LLMCostModel.pp_boundary_time`).
+
+KV offload traffic, recomputation, and (de)quantization are sharded too:
+each GPU moves and processes only its shard, concurrently, so those terms
+scale with ``1 / degree`` (the host links operate in parallel —
+:attr:`LLMCostModel.effective_pcie_bandwidth`).  At ``degree == 1`` every
+adjustment is an exact no-op, so single-GPU costs are bit-identical to the
+pre-parallelism model.
 """
 
 from __future__ import annotations
@@ -24,6 +46,78 @@ import numpy as np
 from repro._common import ConfigurationError, dtype_bytes, validate_positive
 from repro.hardware.presets import HardwareSpec
 from repro.model.config import ModelConfig
+
+#: Parallelism strategies understood by :class:`ParallelismSpec`.
+PARALLELISM_MODES = ("none", "tp", "pp")
+
+
+@dataclass(frozen=True)
+class ParallelismSpec:
+    """How one model replica is spread over the GPUs of a node.
+
+    ``mode``
+        ``"none"`` (single GPU), ``"tp"`` (tensor parallel), or ``"pp"``
+        (pipeline parallel).
+    ``degree``
+        Number of GPUs cooperating on the replica; must equal the node's
+        ``gpu_count`` (the serving layer shards its KV budget one shard per
+        GPU).
+    ``pp_microbatches``
+        Microbatches per pipeline pass (``m`` of the GPipe bubble factor
+        ``(m + d - 1) / m``); ignored outside ``mode="pp"``.
+    """
+
+    mode: str = "none"
+    degree: int = 1
+    pp_microbatches: int = 4
+
+    def __post_init__(self) -> None:
+        if self.mode not in PARALLELISM_MODES:
+            raise ConfigurationError(
+                f"unknown parallelism mode {self.mode!r}; "
+                f"known: {PARALLELISM_MODES}"
+            )
+        validate_positive(degree=self.degree,
+                          pp_microbatches=self.pp_microbatches)
+        if self.mode == "none" and self.degree != 1:
+            raise ConfigurationError(
+                "mode 'none' requires degree 1; use 'tp' or 'pp' for "
+                "multi-GPU execution"
+            )
+        if self.mode != "none" and self.degree < 2:
+            raise ConfigurationError(
+                f"mode {self.mode!r} requires degree >= 2, got {self.degree}"
+            )
+
+    @classmethod
+    def parse(cls, spec: str, pp_microbatches: int = 4) -> "ParallelismSpec":
+        """Parse a compact axis label: ``"none"``, ``"tp-2"``, ``"pp-4"``.
+
+        ``"1gpu"`` and degree-1 labels (``"tp-1"``) normalize to the
+        single-GPU spec, so sweep axes can mix single- and multi-GPU
+        entries uniformly.
+        """
+        label = spec.strip().lower()
+        if label in ("none", "single", "1gpu"):
+            return cls()
+        for mode in ("tp", "pp"):
+            if label.startswith(mode):
+                digits = label[len(mode):].lstrip("-x")
+                if digits.isdigit():
+                    degree = int(digits)
+                    if degree == 1:
+                        return cls()
+                    return cls(mode=mode, degree=degree,
+                               pp_microbatches=pp_microbatches)
+        raise ConfigurationError(
+            f"cannot parse parallelism spec {spec!r}; expected 'none', "
+            "'tp-<degree>', or 'pp-<degree>'"
+        )
+
+    @property
+    def label(self) -> str:
+        """Compact label used in experiment rows (inverse of :meth:`parse`)."""
+        return "none" if self.degree == 1 else f"{self.mode}-{self.degree}"
 
 
 @dataclass(frozen=True)
@@ -62,12 +156,53 @@ class LLMCostModel:
     """Roofline cost model for one model configuration on one node."""
 
     def __init__(self, config: ModelConfig, hardware: HardwareSpec,
-                 dtype: str = "fp16") -> None:
+                 dtype: str = "fp16",
+                 parallelism: ParallelismSpec | None = None) -> None:
         self.config = config
         self.hardware = hardware
         self.dtype = dtype
         self.bytes_per_element = dtype_bytes(dtype)
         validate_positive(bytes_per_element=self.bytes_per_element)
+        self.parallelism = parallelism or ParallelismSpec()
+        if self.parallelism.degree != hardware.gpu_count:
+            raise ConfigurationError(
+                f"parallelism degree {self.parallelism.degree} must match the "
+                f"node's GPU count {hardware.gpu_count} (one KV shard per GPU)"
+            )
+        if self.parallelism.degree > 1 and hardware.interconnect is None:
+            raise ConfigurationError(
+                f"node {hardware.name!r} has no interconnect; multi-GPU "
+                "execution needs one for its collective-communication terms"
+            )
+
+    @property
+    def effective_pcie_bandwidth(self) -> float:
+        """Aggregate host-link bandwidth (each GPU moves its own KV shard)."""
+        return self.hardware.node_pcie_bandwidth
+
+    def kv_budget_bytes(self, batch_size: int, input_len: int,
+                        weights_on_gpu: bool = True,
+                        reserve_fraction: float = 0.05) -> float:
+        """Node GPU bytes left for KV tensors next to weights/activations.
+
+        The single source of the (sharded) memory-capacity accounting:
+        capacity aggregates over all GPUs of the node, weights are charged
+        once (TP shards them head-wise, PP stage-wise), and activations are
+        charged per GPU (every rank keeps a working copy at the TP/PP
+        boundaries).  Both the serving admission budget
+        (:meth:`repro.systems.simulator.InferenceSimulator.gpu_kv_budget_tokens`)
+        and the offline scheduler's capacity constraint
+        (:func:`repro.core.optimizer.gpu_kv_budget_tokens`) derive from
+        this, so they can never diverge.  May be negative when weights and
+        activations alone overflow the node.
+        """
+        gpu_count = self.hardware.gpu_count
+        capacity = (self.hardware.gpu.memory_bytes * gpu_count
+                    * (1.0 - reserve_fraction))
+        if weights_on_gpu:
+            capacity -= self.weight_bytes()
+        capacity -= gpu_count * self.activation_bytes(batch_size, input_len)
+        return capacity
 
     # ------------------------------------------------------------------ #
     # static sizes
@@ -108,6 +243,95 @@ class LLMCostModel:
         memory_time = bytes_moved / self.hardware.gpu.hbm_bandwidth
         return OpCost(name=name, flops=flops, bytes_moved=bytes_moved,
                       time_s=max(compute_time, memory_time, min_time))
+
+    # ------------------------------------------------------------------ #
+    # multi-GPU communication terms (tensor / pipeline parallelism)
+    # ------------------------------------------------------------------ #
+    def _activation_message_bytes(self, batch_size: int,
+                                  query_len: int) -> float:
+        """Bytes of the per-layer activation tensor exchanged between GPUs."""
+        return (batch_size * query_len * self.config.hidden_size
+                * self.bytes_per_element)
+
+    def tp_allreduce_time(self, batch_size: int, query_len: int = 1) -> float:
+        """Per-layer all-reduce time under tensor parallelism.
+
+        Each transformer layer ends its attention and FFN blocks with one
+        ring all-reduce of the activation tensor: ``2 * (d - 1)``
+        communication steps, each moving ``1/d`` of the message and paying
+        the interconnect latency.  Returns 0 outside ``mode="tp"``.
+        """
+        p = self.parallelism
+        if p.mode != "tp":
+            return 0.0
+        link = self.hardware.interconnect
+        message = self._activation_message_bytes(batch_size, query_len)
+        steps = 2.0 * (p.degree - 1)
+        per_allreduce = steps * link.latency_s \
+            + steps * (message / p.degree) / link.bandwidth
+        return 2.0 * per_allreduce
+
+    def pp_boundary_time(self, batch_size: int, query_len: int = 1) -> float:
+        """Stage-boundary activation transfers of one pipeline pass.
+
+        A ``d``-stage pipeline hands the activation tensor across ``d - 1``
+        boundaries per (micro)batch pass.  Returns 0 outside ``mode="pp"``.
+        """
+        p = self.parallelism
+        if p.mode != "pp":
+            return 0.0
+        link = self.hardware.interconnect
+        message = self._activation_message_bytes(batch_size, query_len)
+        return (p.degree - 1) * (link.latency_s + message / link.bandwidth)
+
+    def pp_bubble_factor(self) -> float:
+        """GPipe bubble inflation ``(m + d - 1) / m`` (1.0 outside PP)."""
+        p = self.parallelism
+        if p.mode != "pp":
+            return 1.0
+        return (p.pp_microbatches + p.degree - 1) / p.pp_microbatches
+
+    def parallel_comm_time(self, batch_size: int, query_len: int = 1) -> float:
+        """Communication time one forward pass spends on the interconnect.
+
+        TP: two ring all-reduces per layer across all layers; PP: the
+        stage-boundary transfers.  Pipeline bubble idle time is *not*
+        counted here — it inflates compute, not communication.
+        """
+        p = self.parallelism
+        if p.degree == 1:
+            return 0.0
+        if p.mode == "tp":
+            return self.config.num_layers * self.tp_allreduce_time(batch_size,
+                                                                   query_len)
+        return self.pp_boundary_time(batch_size, query_len)
+
+    def _parallel_forward_time(self, base_time: float, batch_size: int,
+                               query_len: int) -> float:
+        """Layer a single-GPU forward-pass time onto the parallel node.
+
+        Exact identity at ``degree == 1``.  TP divides compute by the degree
+        (weights, heads, and FFN columns are sharded) and adds the per-layer
+        all-reduces; PP divides compute across stages, inflates it by the
+        pipeline bubble, and adds the boundary transfers.
+        """
+        p = self.parallelism
+        if p.degree == 1:
+            return base_time
+        if p.mode == "tp":
+            return base_time / p.degree + self.parallel_comm_time(batch_size,
+                                                                  query_len)
+        return (base_time / p.degree * self.pp_bubble_factor()
+                + self.pp_boundary_time(batch_size, query_len))
+
+    def _shard_scale(self) -> float:
+        """Concurrency factor for work sharded one slice per GPU.
+
+        KV recomputation and (de)quantization touch only the owning shard's
+        slice of the cache; the shards work in parallel, so the node-level
+        time divides by the degree (exactly 1.0 on a single GPU).
+        """
+        return 1.0 / self.parallelism.degree
 
     # ------------------------------------------------------------------ #
     # attention module breakdown (Figure 11)
@@ -213,19 +437,20 @@ class LLMCostModel:
     def decode_step_time(self, batch_size: int, kv_len: int,
                          kept_kv: int | None = None,
                          local_window: int = 0) -> float:
-        """GPU compute time of one decoding step across all layers."""
-        return self.config.num_layers * self.decode_layer_time(
+        """GPU time of one decoding step across all layers (with TP/PP)."""
+        base = self.config.num_layers * self.decode_layer_time(
             batch_size, kv_len, kept_kv, local_window
         )
+        return self._parallel_forward_time(base, batch_size, query_len=1)
 
     def prefill_time(self, batch_size: int, prompt_len: int) -> float:
-        """GPU compute time of the prefilling stage (dense attention)."""
-        total = 0.0
+        """GPU time of the prefilling stage (dense attention, with TP/PP)."""
         attention = self.attention_time(batch_size, prompt_len,
                                         query_len=prompt_len)
         ffn = self.ffn_time(batch_size, query_len=prompt_len)
-        total = self.config.num_layers * (attention + ffn)
-        return total
+        base = self.config.num_layers * (attention + ffn)
+        return self._parallel_forward_time(base, batch_size,
+                                           query_len=prompt_len)
 
     def recompute_time(self, batch_size: int, num_tokens: int,
                        num_layers: int | None = None) -> float:
@@ -241,7 +466,8 @@ class LLMCostModel:
         flops = 2.0 * 2.0 * batch_size * num_tokens * h * h  # K and V projections
         bytes_moved = (2.0 * h * h + 3.0 * batch_size * num_tokens * h) \
             * self.bytes_per_element
-        return layers * self._roofline("recompute_kv", flops, bytes_moved).time_s
+        return layers * self._shard_scale() \
+            * self._roofline("recompute_kv", flops, bytes_moved).time_s
 
     def recompute_time_batch(self, batch_size: int,
                              num_tokens: np.ndarray) -> np.ndarray:
@@ -258,7 +484,8 @@ class LLMCostModel:
             * self.bytes_per_element
         time = np.maximum(flops / self.hardware.gpu.effective_flops,
                           bytes_moved / self.hardware.gpu.hbm_bandwidth)
-        time = self.config.num_layers * np.maximum(time, 2e-6)
+        time = self.config.num_layers * self._shard_scale() \
+            * np.maximum(time, 2e-6)
         return np.where(tokens > 0, time, 0.0)
 
     def quantize_time(self, batch_size: int, num_tokens: int) -> float:
@@ -267,8 +494,9 @@ class LLMCostModel:
             return 0.0
         elements = 2.0 * batch_size * num_tokens * self.config.hidden_size \
             * self.config.num_layers
-        return self._roofline("kv_quantize", flops=2.0 * elements,
-                              bytes_moved=3.0 * elements).time_s
+        return self._shard_scale() \
+            * self._roofline("kv_quantize", flops=2.0 * elements,
+                             bytes_moved=3.0 * elements).time_s
 
     def cpu_attention_time(self, batch_size: int, cpu_tokens: float,
                            kv_dtype: str | None = None,
@@ -289,9 +517,14 @@ class LLMCostModel:
         return max(kv_bytes / bandwidth, flop_time)
 
     def pcie_time(self, num_bytes: float) -> float:
-        """One-way PCIe transfer time for ``num_bytes`` (Equation 3)."""
+        """One-way PCIe transfer time for ``num_bytes`` (Equation 3).
+
+        On a multi-GPU node the KV cache is sharded one slice per GPU and
+        every GPU drives its own host link, so the node-level transfer runs
+        at the aggregate bandwidth.
+        """
         if num_bytes < 0:
             raise ConfigurationError("transfer size must be non-negative")
         if num_bytes == 0:
             return 0.0
-        return num_bytes / self.hardware.pcie_bandwidth
+        return num_bytes / self.effective_pcie_bandwidth

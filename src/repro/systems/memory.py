@@ -1,7 +1,9 @@
 """Simulated memory devices and the GPU-CPU interconnect.
 
 These classes model the *capacity* and *traffic* side of LLM inference on a
-single GPU-CPU node: every byte of weights, activations, and KV tensors is
+GPU-CPU node (single- or multi-GPU — multi-GPU nodes pool their HBM and
+host links, see :meth:`MemoryHierarchy.from_hardware`): every byte of
+weights, activations, and KV tensors is
 allocated on a named device with a finite capacity, and every KV offload or
 reload crosses the PCIe link, which charges transfer time against the step.
 
@@ -138,11 +140,17 @@ class MemoryHierarchy:
 
     @classmethod
     def from_hardware(cls, hardware) -> "MemoryHierarchy":
-        """Build a hierarchy from a :class:`repro.hardware.HardwareSpec`."""
+        """Build a hierarchy from a :class:`repro.hardware.HardwareSpec`.
+
+        Multi-GPU nodes pool their GPU memory into one device and drive
+        their host links concurrently (one per GPU), so the GPU capacity
+        and the link bandwidth aggregate over ``gpu_count``.
+        """
         return cls(
-            gpu=MemoryDevice(hardware.gpu.name, hardware.gpu.memory_bytes),
+            gpu=MemoryDevice(hardware.gpu.name,
+                             hardware.node_gpu_memory_bytes),
             cpu=MemoryDevice(hardware.cpu.name, hardware.cpu.memory_bytes),
-            link=PCIeLink(hardware.pcie_bandwidth),
+            link=PCIeLink(hardware.node_pcie_bandwidth),
         )
 
     def snapshot(self) -> dict[str, float]:

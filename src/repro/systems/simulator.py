@@ -28,7 +28,7 @@ from dataclasses import dataclass, replace
 from repro._common import OutOfMemoryError
 from repro.hardware.presets import HardwareSpec
 from repro.model.config import ModelConfig, get_config
-from repro.systems.cost import LLMCostModel
+from repro.systems.cost import LLMCostModel, ParallelismSpec
 from repro.systems.memory import MemoryHierarchy
 from repro.systems.trace import InferenceTrace, StepTiming
 from repro.workloads.descriptors import Workload
@@ -71,10 +71,19 @@ class InferenceSimulator(ABC):
 
     def __init__(self, model: ModelConfig | str, hardware: HardwareSpec,
                  compute_dtype: str = "fp16", kv_dtype: str = "fp16",
-                 weights_on_gpu: bool = True) -> None:
+                 weights_on_gpu: bool = True,
+                 parallelism: ParallelismSpec | None = None) -> None:
         self.config = get_config(model) if isinstance(model, str) else model
         self.hardware = hardware
-        self.cost_model = LLMCostModel(self.config, hardware, compute_dtype)
+        if parallelism is None:
+            # Multi-GPU nodes default to tensor parallelism across all GPUs;
+            # the cost model validates degree == gpu_count either way.
+            parallelism = (ParallelismSpec() if hardware.gpu_count == 1
+                           else ParallelismSpec(mode="tp",
+                                                degree=hardware.gpu_count))
+        self.parallelism = parallelism
+        self.cost_model = LLMCostModel(self.config, hardware, compute_dtype,
+                                       parallelism=parallelism)
         self.kv_dtype = kv_dtype
         self.weights_on_gpu = weights_on_gpu
 
@@ -241,13 +250,24 @@ class InferenceSimulator(ABC):
         )
 
     # ------------------------------------------------------------------ #
+    def parallel_comm_time(self, workload: Workload,
+                           query_len: int = 1) -> float:
+        """Interconnect time of one forward pass under TP/PP (0 on 1 GPU)."""
+        return self.cost_model.parallel_comm_time(workload.batch_size,
+                                                  query_len)
+
     def gpu_kv_budget_tokens(self, workload: Workload,
                              reserve_fraction: float = 0.05) -> int:
-        """Number of KV tokens that fit on the GPU next to weights/activations."""
-        capacity = self.hardware.gpu.memory_bytes * (1.0 - reserve_fraction)
-        if self.weights_on_gpu:
-            capacity -= self.cost_model.weight_bytes()
-        capacity -= self.cost_model.activation_bytes(workload.batch_size,
-                                                     workload.input_len)
+        """KV tokens that fit in node GPU memory next to weights/activations.
+
+        The byte accounting (aggregate capacity, weights charged once,
+        activations per GPU) lives in
+        :meth:`~repro.systems.cost.LLMCostModel.kv_budget_bytes`, shared
+        with the offline scheduler's capacity constraint.
+        """
+        capacity = self.cost_model.kv_budget_bytes(
+            workload.batch_size, workload.input_len,
+            weights_on_gpu=self.weights_on_gpu,
+            reserve_fraction=reserve_fraction)
         per_token = self.kv_token_bytes(workload)
         return max(1, int(capacity // per_token)) if capacity > 0 else 1

@@ -16,6 +16,21 @@ arrival-trace generators consumed by
 
 Everything is sampled through :func:`repro._common.rng`, so a trace is fully
 reproducible from its seed.
+
+Public contract
+---------------
+:func:`generate_requests` is the one entry point serving code should use:
+it returns ``num_requests`` :class:`Request` objects with ``request_id``
+equal to their index, arrival times strictly increasing, and lengths that
+are either the fixed ``input_len``/``output_len`` or ShareGPT-style samples
+(when either is ``None``).  The same ``(pattern, rate, seed, lengths)``
+arguments always produce the identical trace — byte-for-byte — so two
+engines serving the "same trace" really do see the same requests, and a
+sweep can compare systems or hardware configurations row-by-row.
+:class:`Request` itself is frozen and validated on construction
+(positive lengths, non-negative arrival time); ``max_seq_len`` is the KV
+footprint admission control reserves.  New arrival patterns register in
+:data:`ARRIVAL_PATTERNS` under the name callers pass as ``pattern``.
 """
 
 from __future__ import annotations
