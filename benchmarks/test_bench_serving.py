@@ -31,6 +31,27 @@ def test_bench_serving_bursty_sharegpt(benchmark, record_rows):
 
 
 @pytest.mark.benchmark(group="serving")
+def test_bench_serving_cluster(benchmark, record_rows):
+    """Cluster serving: 2 GPUs as one TP-2 node vs two routed replicas."""
+    result = benchmark(run_experiment, "serving_rate_sweep",
+                       rates=(8.0, 32.0), num_requests=16,
+                       input_len=256, output_len=128,
+                       cluster=("tp-2", "2x(tp-1)"), routing="jsq")
+    record_rows(benchmark, result)
+    assert {row["cluster"] for row in result.rows} == {"tp-2", "2x(none)"}
+    assert {row["gpu_count"] for row in result.rows} == {2}
+    for row in result.filter(system="alisa", cluster="2x(none)"):
+        assert sum(row["dispatch_counts"]) == 16
+        assert row["num_replicas"] == 2
+    sharded = result.filter(system="alisa", cluster="tp-2",
+                            rate_req_per_s=32.0)[0]
+    replicated = result.filter(system="alisa", cluster="2x(none)",
+                               rate_req_per_s=32.0)[0]
+    # One big node pools its KV budget; two replicas split it.
+    assert sharded["kv_budget_tokens"] > replicated["kv_budget_tokens"]
+
+
+@pytest.mark.benchmark(group="serving")
 def test_bench_serving_multi_gpu_tp(benchmark, record_rows):
     """Sharded serving: single-GPU vs 2-GPU tensor parallel in one sweep."""
     result = benchmark(run_experiment, "serving_rate_sweep",

@@ -1,0 +1,75 @@
+"""Cluster serving demo: scale-up vs scale-out at equal GPU count.
+
+Spends four V100s three ways on the same arrival traces — one TP-4 node,
+two TP-2 replicas, four single-GPU replicas — and shows the trade the
+paper's throughput story implies at cluster scale: sharding multiplies the
+KV budget of one replica (admitting more concurrent requests per node),
+replication multiplies the number of independent decode loops (no
+collective-communication tax), and the router decides how well the
+replicas share the load.  A second sweep holds the cluster fixed and
+compares routing policies on a bursty ShareGPT-style trace, where
+join-shortest-queue sustains a higher arrival rate than blind round-robin.
+
+Run with:  python examples/cluster_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+from repro.experiments.serving import max_sustained_rate
+
+LAYOUTS = ("tp-4", "2x(tp-2)", "4x(tp-1)")
+LAYOUT_COLUMNS = ("p99_ttft_s", "mean_queueing_delay_s",
+                  "throughput_tokens_per_s", "kv_budget_tokens")
+ROUTING = ("round-robin", "jsq", "least-loaded")
+ROUTING_COLUMNS = ("mean_queueing_delay_s", "p99_ttft_s",
+                   "tokens_imbalance")
+
+
+def main() -> None:
+    result = run_experiment("serving_rate_sweep", model="opt-6.7b",
+                            rates=(16.0, 64.0), num_requests=32,
+                            input_len=256, output_len=256,
+                            cluster=LAYOUTS, routing="jsq")
+    print("# Equal-GPU clusters: ALISA on 4 V100s, Poisson arrivals, "
+          "32 requests (s=256, n=256), JSQ routing")
+    header = f"{'rate':>6s} {'cluster':>9s} " + " ".join(
+        f"{col:>24s}" for col in LAYOUT_COLUMNS)
+    print(header)
+    for row in result.filter(system="alisa"):
+        cells = " ".join(f"{row[col]:>24.3f}" for col in LAYOUT_COLUMNS)
+        print(f"{row['rate_req_per_s']:>6.1f} {row['cluster']:>9s} {cells}")
+    print("(TP-4 concentrates the whole node budget on one engine and pays "
+          "all-reduces; 4x(none) runs four cheap independent engines but "
+          "each admits against a quarter of the memory.)")
+
+    # ------------------------------------------------------------------ #
+    # routing policies on a bursty heavy-tailed trace
+    # ------------------------------------------------------------------ #
+    bursty = run_experiment("serving_rate_sweep", model="opt-6.7b",
+                            rates=(16.0, 32.0), num_requests=40,
+                            pattern="bursty", input_len=None,
+                            output_len=None, seed=0,
+                            cluster=("2x(tp-1)",), routing=ROUTING)
+    print("\n# Routing policies: 2 single-GPU ALISA replicas, bursty "
+          "ShareGPT-style trace, 40 requests")
+    header = f"{'rate':>6s} {'routing':>13s} " + " ".join(
+        f"{col:>24s}" for col in ROUTING_COLUMNS)
+    print(header)
+    for row in bursty.filter(system="alisa"):
+        cells = " ".join(f"{row[col]:>24.3f}" for col in ROUTING_COLUMNS)
+        print(f"{row['rate_req_per_s']:>6.1f} {row['routing']:>13s} {cells}")
+    for policy in ("round-robin", "jsq"):
+        rate = max_sustained_rate(bursty, system="alisa",
+                                  cluster="2x(tp-1)", routing=policy,
+                                  max_queueing_delay_s=0.13)
+        print(f"max sustained rate ({policy}): {rate:.1f} req/s "
+              "(mean queueing delay <= 0.13s)")
+    print("(Round-robin splits requests evenly by count, so heavy-tailed "
+          "conversations pile onto one replica during bursts; JSQ watches "
+          "outstanding KV tokens — the admission currency — and drains "
+          "both replicas.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,11 @@ and 4-GPU NVLink nodes (equal per-GPU memory) under tensor and pipeline
 parallelism, showing how the sharded KV budget and the collective-
 communication share trade off as the node grows.
 
+A third sweep walks the cluster axis (`repro.cluster`): the same four GPUs
+spent as one TP-4 node versus two TP-2 replicas behind a
+join-shortest-queue router — see examples/cluster_demo.py for the full
+scale-up vs scale-out and routing-policy story.
+
 Run with:  python examples/serving_demo.py
 """
 
@@ -77,6 +82,21 @@ def main() -> None:
           "the layer stack and pays stage transfers plus the pipeline "
           "bubble.  Both multiply the KV budget, so tail latency stays "
           "flat at rates that saturate one GPU.)")
+
+    # ------------------------------------------------------------------ #
+    # cluster axis: the same four GPUs as one big node vs two replicas
+    # ------------------------------------------------------------------ #
+    cluster = run_experiment("serving_rate_sweep", model="opt-6.7b",
+                             rates=(48.0,), num_requests=24,
+                             cluster=("tp-4", "2x(tp-2)"), routing="jsq")
+    print("\n# Cluster serving: 4 GPUs as TP-4 vs 2x(TP-2) "
+          "(JSQ routing, 48 req/s)")
+    for row in cluster.filter(system="alisa"):
+        print(f"  {row['cluster']:>9s}: p99 TTFT {row['p99_ttft_s']:.3f}s, "
+              f"throughput {row['throughput_tokens_per_s']:.0f} tok/s, "
+              f"dispatch {row['dispatch_counts']}")
+    print("(See examples/cluster_demo.py for the routing-policy "
+          "comparison on bursty traffic.)")
 
 
 if __name__ == "__main__":

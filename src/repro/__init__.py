@@ -12,6 +12,7 @@ The package is organised as:
 * :mod:`repro.hardware` — hardware presets (V100, H100, Xeon host).
 * :mod:`repro.baselines` — FlexGen/vLLM/Accelerate/DeepSpeed-style systems.
 * :mod:`repro.workloads` — synthetic corpora and task generators.
+* :mod:`repro.cluster` — data-parallel replica groups and request routing.
 * :mod:`repro.evaluation` — perplexity, accuracy, sparsity, throughput.
 * :mod:`repro.experiments` — one driver per paper figure/table.
 """

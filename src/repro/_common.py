@@ -24,8 +24,13 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
 
 
-class ConfigurationError(ReproError):
-    """Raised when a configuration object is internally inconsistent."""
+class ConfigurationError(ReproError, ValueError):
+    """Raised when a configuration object is internally inconsistent.
+
+    Also a :class:`ValueError`: configuration mistakes are bad argument
+    values, so callers outside the package can catch them idiomatically
+    without importing :mod:`repro`.
+    """
 
 
 class OutOfMemoryError(ReproError):

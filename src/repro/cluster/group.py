@@ -1,0 +1,221 @@
+"""Data-parallel replica groups over the continuous-batching engine.
+
+A :class:`ReplicaGroup` owns N independent
+:class:`~repro.serving.engine.ContinuousBatchingEngine` replicas — each
+with its own simulator, hardware node, parallelism spec, and schedule
+cache — and serves one arrival trace by routing every request to exactly
+one replica (:class:`~repro.cluster.router.Router`), simulating each
+replica over its share, and merging the per-replica traces into a
+:class:`~repro.cluster.trace.ClusterTrace`.
+
+This is the scale-out axis on top of the scale-up axis: tensor/pipeline
+parallelism makes one replica bigger, replica groups add more of them, and
+the serving sweep's ``cluster`` axis compares both at equal GPU count
+(TP-4 vs 2x(TP-2) vs 4x(TP-1)).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro._common import ConfigurationError
+from repro.cluster.layout import ClusterLayout
+from repro.cluster.router import Router
+from repro.cluster.trace import ClusterTrace
+from repro.hardware.presets import (
+    NVLINK,
+    ClusterSpec,
+    HardwareSpec,
+    InterconnectSpec,
+)
+from repro.serving.engine import ContinuousBatchingEngine
+from repro.systems.cost import ParallelismSpec
+from repro.systems.simulator import InferenceSimulator
+from repro.workloads.arrivals import Request
+
+#: Builds one replica's simulator on its node under its parallelism spec.
+SimulatorFactory = Callable[[HardwareSpec, ParallelismSpec],
+                            InferenceSimulator]
+
+
+class ReplicaGroup:
+    """N replica engines plus the routing policy that feeds them.
+
+    Parameters
+    ----------
+    engines:
+        One :class:`ContinuousBatchingEngine` per replica.  All replicas
+        must serve the same system and model (a cluster mixes hardware at
+        most, never model identities).
+    policy:
+        Default routing policy (see
+        :data:`~repro.cluster.router.ROUTING_POLICIES`); overridable per
+        :meth:`serve` call.
+    seed:
+        Default router seed: fixes tie-breaking so the per-replica request
+        split is deterministic run-to-run.  Thread the arrival trace's
+        ``generate_requests`` seed through here to make the whole cluster
+        trace a pure function of one seed.
+    cluster:
+        Optional :class:`ClusterSpec` recorded in trace metadata.
+    """
+
+    def __init__(self, engines: list[ContinuousBatchingEngine],
+                 policy: str = "round-robin", seed: int | None = 0,
+                 cluster: ClusterSpec | None = None) -> None:
+        if not engines:
+            raise ConfigurationError("a replica group needs at least one "
+                                     "replica engine")
+        names = {engine.simulator.name for engine in engines}
+        models = {engine.simulator.config.name for engine in engines}
+        if len(names) > 1 or len(models) > 1:
+            raise ConfigurationError(
+                f"replicas must serve one system and model, got systems "
+                f"{sorted(names)} over models {sorted(models)}"
+            )
+        # Validates the policy name before any serving happens.
+        Router(len(engines), policy, seed)
+        self.engines = engines
+        self.policy = policy
+        self.seed = seed
+        self.cluster = cluster
+        self._service_estimates: list[dict[tuple[int, int], float]] = \
+            [{} for _ in engines]
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_layout(cls, simulator_factory: SimulatorFactory,
+                    layout: ClusterLayout | str, base: HardwareSpec,
+                    interconnect: InterconnectSpec = NVLINK,
+                    policy: str = "round-robin", seed: int | None = 0,
+                    **engine_kwargs) -> "ReplicaGroup":
+        """Build a group from a cluster layout over a single-GPU base node.
+
+        ``simulator_factory(node, parallelism)`` is called once per replica,
+        so every replica gets an independent simulator — and with it its own
+        schedule cache and placement state.
+        """
+        if isinstance(layout, str):
+            layout = ClusterLayout.parse(layout)
+        spec = layout.cluster_spec(base, interconnect)
+        engines = [
+            ContinuousBatchingEngine(
+                simulator_factory(spec.node, layout.parallelism),
+                **engine_kwargs)
+            for _ in range(spec.num_replicas)
+        ]
+        return cls(engines, policy=policy, seed=seed, cluster=spec)
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.engines)
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(engine.simulator.hardware.gpu_count
+                   for engine in self.engines)
+
+    # ------------------------------------------------------------------ #
+    # routing support
+    # ------------------------------------------------------------------ #
+    def estimate_service_time(self, replica: int, request: Request) -> float:
+        """Estimated seconds ``replica`` would spend on ``request`` alone.
+
+        Single-sequence prefill plus one dense decode step per output token
+        at the final context length — deliberately the *router's* coarse
+        view (it overcharges decode and ignores batching), priced by the
+        replica's own cost model so heterogeneous replicas estimate
+        honestly.  Cached per ``(input_len, output_len)`` shape.
+        """
+        key = (request.input_len, request.output_len)
+        cached = self._service_estimates[replica].get(key)
+        if cached is None:
+            cost_model = self.engines[replica].simulator.cost_model
+            cached = (cost_model.prefill_time(1, request.input_len)
+                      + request.output_len
+                      * cost_model.decode_step_time(1, request.max_seq_len))
+            self._service_estimates[replica][key] = cached
+        return cached
+
+    def route(self, requests: list[Request], policy: str | None = None,
+              seed: int | None = None) -> list[list[Request]]:
+        """Split ``requests`` into one per-replica trace (dispatch order).
+
+        Requests are dispatched in ``(arrival_time, request_id)`` order —
+        the order a front-end sees them — and each lands on exactly one
+        replica.  Pure function of ``(requests, policy, seed)``.
+        """
+        router = Router(self.num_replicas,
+                        self.policy if policy is None else policy,
+                        self.seed if seed is None else seed)
+        # Round-robin never reads load state, so skip the per-replica
+        # service estimates (2 cost-model evaluations per replica per new
+        # request shape) on that path.
+        load_aware = router.policy != "round-robin"
+        zeros = [0.0] * self.num_replicas
+        assignments: list[list[Request]] = [[] for _ in self.engines]
+        ordered = sorted(requests,
+                         key=lambda r: (r.arrival_time, r.request_id))
+        for request in ordered:
+            estimates = ([self.estimate_service_time(replica, request)
+                          for replica in range(self.num_replicas)]
+                         if load_aware else zeros)
+            assignments[router.assign(request, estimates)].append(request)
+        return assignments
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def serve(self, requests: list[Request], policy: str | None = None,
+              seed: int | None = None) -> ClusterTrace:
+        """Route ``requests`` across the replicas and serve each share.
+
+        Returns a :class:`ClusterTrace` with exactly one record per input
+        request; ``metadata["routing"]`` records the policy, seed, and
+        per-replica dispatch counts, ``metadata["replicas"]`` the
+        per-replica breakdowns.
+        """
+        policy = self.policy if policy is None else policy
+        seed = self.seed if seed is None else seed
+        assignments = self.route(requests, policy=policy, seed=seed)
+        traces = [engine.serve(share)
+                  for engine, share in zip(self.engines, assignments)]
+
+        simulator = self.engines[0].simulator
+        metadata = {
+            "routing": {"policy": policy, "seed": seed,
+                        "dispatch_counts": [len(share)
+                                            for share in assignments]},
+            "num_replicas": self.num_replicas,
+            "total_gpus": self.total_gpus,
+        }
+        if requests:
+            # Cluster capacity is a hardware fact: probe every replica's
+            # budget against the whole trace, so the reported budget does
+            # not shrink when a routing policy starves a replica (an empty
+            # replica's own trace reports budget 0).
+            metadata["kv_budget_tokens"] = sum(
+                engine.kv_budget_tokens(requests)
+                for engine in self.engines)
+        if self.cluster is not None:
+            metadata["cluster"] = {"name": self.cluster.name,
+                                   "node": self.cluster.node.name,
+                                   "num_replicas": self.cluster.num_replicas,
+                                   "total_gpus": self.cluster.total_gpus}
+        scheduler = self._aggregate_scheduler_stats(traces)
+        if scheduler:
+            metadata["scheduler"] = scheduler
+        return ClusterTrace.merge(traces, system=simulator.name,
+                                  model=simulator.config.name,
+                                  metadata=metadata)
+
+    @staticmethod
+    def _aggregate_scheduler_stats(traces) -> dict[str, int]:
+        """Sum per-replica scheduler-cache counters (empty when none)."""
+        totals: dict[str, int] = {}
+        for trace in traces:
+            for key, value in trace.metadata.get("scheduler", {}).items():
+                totals[key] = totals.get(key, 0) + value
+        return totals

@@ -1,0 +1,88 @@
+"""Cluster layouts: how many replicas, and how each replica is sharded.
+
+A :class:`ClusterLayout` is the experiment-facing description of a
+data-parallel configuration — ``num_replicas`` model copies, each spread
+over its node by one :class:`~repro.systems.cost.ParallelismSpec`.  It is
+the parsed form of the compact axis labels the serving sweep accepts:
+
+* ``"tp-4"`` — one replica, tensor parallel over 4 GPUs;
+* ``"2x(tp-2)"`` — two replicas, each tensor parallel over 2 GPUs;
+* ``"4x(tp-1)"`` / ``"4x(none)"`` — four single-GPU replicas.
+
+All three above spend 4 GPUs, so one sweep invocation can answer the
+paper-scale question "TP-4 vs 2x(TP-2) at equal GPU count".
+``ClusterLayout.parse`` and :attr:`ClusterLayout.label` round-trip through
+the canonical spelling (degree-1 replica parallelism normalizes to
+``none``, exactly like :meth:`ParallelismSpec.parse`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro._common import ConfigurationError, validate_positive
+from repro.hardware.presets import (
+    NVLINK,
+    ClusterSpec,
+    HardwareSpec,
+    InterconnectSpec,
+    multi_gpu,
+)
+from repro.systems.cost import ParallelismSpec
+
+#: ``"<replicas>x(<parallelism>)"`` — the replica-count prefix is optional
+#: (a bare parallelism label means one replica).
+_LAYOUT_RE = re.compile(r"^(?P<replicas>\d+)\s*x\s*\((?P<inner>[^()]*)\)$")
+
+
+@dataclass(frozen=True)
+class ClusterLayout:
+    """``num_replicas`` data-parallel replicas of one sharded serving node."""
+
+    num_replicas: int = 1
+    parallelism: ParallelismSpec = field(default_factory=ParallelismSpec)
+
+    def __post_init__(self) -> None:
+        validate_positive(num_replicas=self.num_replicas)
+
+    @classmethod
+    def parse(cls, spec: str, pp_microbatches: int = 4) -> "ClusterLayout":
+        """Parse a cluster axis label: ``"tp-4"``, ``"2x(tp-2)"``, ...
+
+        The inner parallelism label accepts everything
+        :meth:`ParallelismSpec.parse` does, so ``"4x(tp-1)"`` normalizes to
+        four single-GPU replicas (label ``"4x(none)"``).
+        """
+        label = spec.strip().lower()
+        match = _LAYOUT_RE.match(label)
+        if match:
+            replicas = int(match.group("replicas"))
+            if replicas < 1:
+                raise ConfigurationError(
+                    f"cluster layout {spec!r} needs at least one replica"
+                )
+            inner = ParallelismSpec.parse(match.group("inner"),
+                                          pp_microbatches=pp_microbatches)
+            return cls(num_replicas=replicas, parallelism=inner)
+        return cls(parallelism=ParallelismSpec.parse(
+            label, pp_microbatches=pp_microbatches))
+
+    @property
+    def label(self) -> str:
+        """Canonical axis label (inverse of :meth:`parse`)."""
+        if self.num_replicas == 1:
+            return self.parallelism.label
+        return f"{self.num_replicas}x({self.parallelism.label})"
+
+    @property
+    def total_gpus(self) -> int:
+        """GPUs the whole layout spends (replicas x degree)."""
+        return self.num_replicas * self.parallelism.degree
+
+    def cluster_spec(self, base: HardwareSpec,
+                     interconnect: InterconnectSpec = NVLINK) -> ClusterSpec:
+        """Materialize the layout over copies of a single-GPU ``base`` node."""
+        node = multi_gpu(base, self.parallelism.degree, interconnect)
+        return ClusterSpec(name=f"{node.name}-dp{self.num_replicas}",
+                           node=node, num_replicas=self.num_replicas)

@@ -1,0 +1,132 @@
+"""Load-balancing router: spreads an arrival trace over serving replicas.
+
+The router makes its decision *at dispatch time*, the way a front-end load
+balancer does: when a request arrives it must pick a replica immediately,
+knowing only what it has sent where so far — never the served future.  Load
+is therefore tracked with the same analytic estimates a production router
+would keep (outstanding KV footprint, estimated backlog drain time), and
+the replicas are simulated independently afterwards.
+
+Policies (:data:`ROUTING_POLICIES`):
+
+* ``"round-robin"`` — cyclic dispatch, blind to load; the baseline every
+  serving system ships first;
+* ``"jsq"`` — join-shortest-queue by *outstanding KV-token footprint*: the
+  request joins the replica currently holding the fewest reserved KV
+  tokens.  KV tokens are the serving engine's admission currency, so this
+  is the queue length that actually gates latency;
+* ``"least-loaded"`` — by *estimated completion time*: each replica's
+  backlog is modelled as a single-server queue that drains one request's
+  estimated service time after another; the request joins the replica that
+  would finish it earliest.
+
+Determinism: every policy is a pure function of the dispatch history, and
+ties are broken by a preference order drawn once from the router's seed
+(:func:`repro._common.rng`), so the same ``(requests, policy, seed)``
+always yields the identical split — cluster traces are reproducible
+run-to-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._common import ConfigurationError, rng, validate_positive
+from repro.workloads.arrivals import Request
+
+#: Dispatch policies understood by :class:`Router`.
+ROUTING_POLICIES = ("round-robin", "jsq", "least-loaded")
+
+
+@dataclass
+class _ReplicaLoad:
+    """What the router believes one replica is currently doing."""
+
+    #: ``(estimated_finish_time, kv_tokens)`` of every dispatched request
+    #: believed still in flight (requests run concurrently under
+    #: continuous batching, so each drains on its own estimate).
+    in_flight: list[tuple[float, int]] = field(default_factory=list)
+    #: Single-server backlog horizon for the least-loaded policy.
+    busy_until: float = 0.0
+    #: Requests dispatched to this replica (trace metadata).
+    dispatched: int = 0
+
+    def retire(self, clock: float) -> None:
+        self.in_flight = [(finish, tokens) for finish, tokens
+                          in self.in_flight if finish > clock]
+
+    def outstanding_tokens(self, clock: float) -> int:
+        self.retire(clock)
+        return sum(tokens for _, tokens in self.in_flight)
+
+
+class Router:
+    """Assigns requests to ``num_replicas`` replicas under one policy.
+
+    A router instance carries dispatch state and is meant to route exactly
+    one arrival trace; :meth:`repro.cluster.group.ReplicaGroup.serve`
+    builds a fresh one per serve.
+    """
+
+    def __init__(self, num_replicas: int, policy: str = "round-robin",
+                 seed: int | None = 0) -> None:
+        validate_positive(num_replicas=num_replicas)
+        if policy not in ROUTING_POLICIES:
+            raise ConfigurationError(
+                f"unknown routing policy {policy!r}; "
+                f"known: {list(ROUTING_POLICIES)}"
+            )
+        self.num_replicas = num_replicas
+        self.policy = policy
+        self.seed = seed
+        # Tie-break preference: a seeded permutation fixed for the router's
+        # lifetime.  `_preference[i]` is replica i's rank; among equally
+        # loaded replicas the lowest rank wins, so ties resolve identically
+        # run-to-run for the same seed (and differently across seeds).
+        self._preference = [int(rank)
+                            for rank in rng(seed).permutation(num_replicas)]
+        self._loads = [_ReplicaLoad() for _ in range(num_replicas)]
+        self._rr_next = 0
+
+    # ------------------------------------------------------------------ #
+    def assign(self, request: Request,
+               service_estimates: list[float]) -> int:
+        """Pick the replica ``request`` joins; update dispatch state.
+
+        ``service_estimates[i]`` is the estimated seconds replica ``i``
+        would spend serving the request alone (see
+        :meth:`~repro.cluster.group.ReplicaGroup.estimate_service_time`).
+        """
+        if len(service_estimates) != self.num_replicas:
+            raise ConfigurationError(
+                f"need one service estimate per replica "
+                f"({self.num_replicas}), got {len(service_estimates)}"
+            )
+        clock = request.arrival_time
+        if self.policy == "round-robin":
+            index = self._rr_next
+            self._rr_next = (self._rr_next + 1) % self.num_replicas
+        elif self.policy == "jsq":
+            index = self._argmin(
+                lambda i: self._loads[i].outstanding_tokens(clock))
+        else:  # least-loaded
+            index = self._argmin(
+                lambda i: max(clock, self._loads[i].busy_until)
+                + service_estimates[i])
+        load = self._loads[index]
+        load.in_flight.append((clock + service_estimates[index],
+                               request.max_seq_len))
+        load.busy_until = max(clock, load.busy_until) \
+            + service_estimates[index]
+        load.dispatched += 1
+        return index
+
+    def _argmin(self, score) -> int:
+        return min(range(self.num_replicas),
+                   key=lambda i: (score(i), self._preference[i]))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def dispatch_counts(self) -> list[int]:
+        """Requests dispatched to each replica so far."""
+        return [load.dispatched for load in self._loads]

@@ -1,0 +1,77 @@
+"""Cluster-level serving trace: per-replica traces merged into one view.
+
+A :class:`ClusterTrace` *is a* :class:`~repro.serving.trace.ServingTrace`
+over the union of every replica's request records, so all the percentile,
+throughput, and goodput machinery applies unchanged at cluster scope.  The
+per-replica :class:`ServingTrace` objects are kept intact (and summarised
+in ``metadata["replicas"]``) so imbalance between replicas stays visible
+after the merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serving.trace import ServingTrace
+
+
+@dataclass
+class ClusterTrace(ServingTrace):
+    """One serving run of a whole replica group."""
+
+    replica_traces: list[ServingTrace] = field(default_factory=list)
+
+    @classmethod
+    def merge(cls, traces: list[ServingTrace], system: str,
+              model: str, metadata: dict | None = None) -> "ClusterTrace":
+        """Merge per-replica traces into one cluster-level trace.
+
+        Records are ordered by completion time with a *stable* sort, so a
+        single-replica merge preserves the engine's record order exactly —
+        the degenerate cluster is bit-identical to serving directly.
+        """
+        records = [record for trace in traces for record in trace.records]
+        records.sort(key=lambda record: record.completion_time)
+        merged = cls(system=system, model=model, records=records,
+                     metadata=dict(metadata or {}), replica_traces=traces)
+        merged.metadata["replicas"] = [
+            {"replica": index, "num_requests": trace.num_requests,
+             "generated_tokens": trace.generated_tokens,
+             "duration_s": trace.duration,
+             "mean_queueing_delay_s": trace.mean_queueing_delay,
+             "kv_budget_tokens": trace.metadata.get("kv_budget_tokens", 0),
+             "peak_reserved_tokens": trace.metadata.get(
+                 "peak_reserved_tokens", 0),
+             "comm_time_share": trace.metadata.get("comm_time_share", 0.0)}
+            for index, trace in enumerate(traces)
+        ]
+        merged.metadata.setdefault(
+            "kv_budget_tokens",
+            sum(trace.metadata.get("kv_budget_tokens", 0)
+                for trace in traces))
+        return merged
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replica_traces)
+
+    @property
+    def tokens_imbalance(self) -> float:
+        """Max/mean ratio of generated tokens across replicas (1.0 = even).
+
+        Round-robin on heavy-tailed lengths drifts well above 1; load-aware
+        policies keep it near 1.  Empty replicas count toward the mean, so
+        a policy that starves a replica is penalized, not hidden.
+        """
+        tokens = [trace.generated_tokens for trace in self.replica_traces]
+        if not tokens or sum(tokens) == 0:
+            return 1.0
+        return max(tokens) / (sum(tokens) / len(tokens))
+
+    def summary(self) -> dict:
+        """Cluster summary: the serving summary plus replica-level facts."""
+        data = super().summary()
+        data["num_replicas"] = self.num_replicas
+        data["tokens_imbalance"] = self.tokens_imbalance
+        return data

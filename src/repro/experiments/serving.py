@@ -15,15 +15,28 @@ arrival traces through the sharded engine, so one invocation compares
 1/2/4-GPU nodes under tensor and pipeline parallelism.  Per-configuration
 rows report the communication-time share and peak per-shard occupancy next
 to the latency percentiles.
+
+On top of that sits the **cluster axis**: ``cluster`` entries
+(``"tp-4"``, ``"2x(tp-2)"``, ``"4x(tp-1)"``) describe data-parallel
+replica groups (:mod:`repro.cluster`) — N sharded replicas behind a
+load-balancing router — and one invocation compares scale-up against
+scale-out at equal total GPU count, per routing policy.
 """
 
 from __future__ import annotations
 
+from repro._common import ConfigurationError
 from repro.baselines import BASELINE_SYSTEMS
+from repro.cluster import ClusterLayout, ReplicaGroup
 from repro.core.engine import AlisaSystem
 from repro.core.schedule_cache import SchedulePolicy
 from repro.experiments.base import ExperimentResult, register
-from repro.hardware.presets import get_interconnect, hardware_for_model, multi_gpu
+from repro.hardware.presets import (
+    get_interconnect,
+    hardware_for_model,
+    multi_gpu,
+    validate_equal_gpu_count,
+)
 from repro.serving import ContinuousBatchingEngine
 from repro.systems.cost import ParallelismSpec
 from repro.workloads.arrivals import generate_requests
@@ -44,7 +57,9 @@ SOLVER_STAT_COLUMNS = ("exact_hits", "canonical_hits", "warm_solves",
 
 def max_sustained_rate(result: ExperimentResult, system: str = "alisa",
                        parallelism: str = "none",
-                       max_queueing_delay_s: float = 1.0) -> float:
+                       max_queueing_delay_s: float = 1.0,
+                       cluster: str | None = None,
+                       routing: str | None = None) -> float:
     """Highest swept arrival rate a configuration sustains.
 
     A rate counts as *sustained* when the mean queueing delay stays below
@@ -52,10 +67,22 @@ def max_sustained_rate(result: ExperimentResult, system: str = "alisa",
     the queue (and with it the mean delay) grow with every extra request,
     so this threshold cleanly separates under- from over-subscribed rates.
     Returns 0.0 when no swept rate is sustained.
+
+    ``cluster`` (a cluster axis label, any spelling
+    :meth:`~repro.cluster.ClusterLayout.parse` accepts) selects rows of a
+    cluster sweep instead of the parallelism axis; ``routing`` narrows to
+    one routing policy when the sweep carried several.
     """
-    label = ParallelismSpec.parse(parallelism).label
+    if cluster is not None:
+        criteria = {"system": system,
+                    "cluster": ClusterLayout.parse(cluster).label}
+        if routing is not None:
+            criteria["routing"] = routing
+    else:
+        criteria = {"system": system,
+                    "parallelism": ParallelismSpec.parse(parallelism).label}
     rates = [row["rate_req_per_s"]
-             for row in result.filter(system=system, parallelism=label)
+             for row in result.filter(**criteria)
              if row["mean_queueing_delay_s"] <= max_queueing_delay_s]
     return max(rates, default=0.0)
 
@@ -75,7 +102,10 @@ def serving_rate_sweep(model: str = "opt-6.7b",
                        exact_schedules: bool = False,
                        parallelism: tuple[str, ...] = ("none",),
                        interconnect: str = "nvlink",
-                       pp_microbatches: int = 4) -> ExperimentResult:
+                       pp_microbatches: int = 4,
+                       cluster: tuple[str, ...] | None = None,
+                       routing: tuple[str, ...] | str | None = None,
+                       require_equal_gpus: bool = True) -> ExperimentResult:
     """Sweep the request arrival rate and report serving metrics.
 
     ``input_len``/``output_len`` of ``None`` sample ShareGPT-style
@@ -87,12 +117,22 @@ def serving_rate_sweep(model: str = "opt-6.7b",
     (system, parallelism) pair sees the same arrival traces, so rows are
     directly comparable across the axis.
 
-    Each system is built once per parallelism entry and reused across the
-    whole sweep, so ALISA's schedule cache stays warm from rate to rate;
-    per-serve solver counters are reported in the ``solver_*`` columns.
-    ``exact_schedules=True`` makes ALISA re-solve with the paper's full
-    grid search for every new epoch shape (byte-identical schedules, much
-    slower at high arrival rates).
+    ``cluster`` switches the sweep to the data-parallel axis instead:
+    entries (``"tp-4"``, ``"2x(tp-2)"``, ``"4x(tp-1)"``) become
+    :class:`~repro.cluster.ReplicaGroup` configurations served once per
+    ``routing`` policy (``"round-robin"`` — the default, ``"jsq"``,
+    ``"least-loaded"``), with the trace/router seed shared so the
+    comparison is deterministic.
+    ``require_equal_gpus`` (default on) rejects cluster entries that spend
+    unequal total GPU counts, keeping the comparison honest; the two axes
+    are mutually exclusive.
+
+    Each system is built once per parallelism/cluster entry and reused
+    across the whole sweep, so ALISA's schedule caches stay warm from rate
+    to rate; per-serve solver counters are reported in the ``solver_*``
+    columns.  ``exact_schedules=True`` makes ALISA re-solve with the
+    paper's full grid search for every new epoch shape (byte-identical
+    schedules, much slower at high arrival rates).
     """
     result = ExperimentResult(
         "serving_rate_sweep",
@@ -101,6 +141,27 @@ def serving_rate_sweep(model: str = "opt-6.7b",
     base_hardware = hardware_for_model(model)
     link = get_interconnect(interconnect)
     policy = SchedulePolicy(exact=exact_schedules)
+    if cluster is None:
+        if routing is not None:
+            raise ConfigurationError(
+                "routing only applies to the cluster axis; pass "
+                "cluster=(...) alongside it"
+            )
+    else:
+        if tuple(parallelism) != ("none",):
+            raise ConfigurationError(
+                "the cluster and parallelism axes are mutually exclusive; "
+                "put per-replica sharding inside the cluster entries "
+                "(e.g. cluster=('2x(tp-2)',))"
+            )
+        return _cluster_rate_sweep(
+            result, model=model, base_hardware=base_hardware, link=link,
+            schedule_policy=policy, rates=rates, num_requests=num_requests,
+            pattern=pattern, input_len=input_len, output_len=output_len,
+            seed=seed, ttft_slo_s=ttft_slo_s, tpot_slo_s=tpot_slo_s,
+            exact_schedules=exact_schedules, cluster=cluster,
+            routing=routing, pp_microbatches=pp_microbatches,
+            require_equal_gpus=require_equal_gpus)
     engines: dict[tuple[str, str], ContinuousBatchingEngine] = {}
     specs: dict[str, ParallelismSpec] = {}
     for entry in parallelism:
@@ -108,12 +169,8 @@ def serving_rate_sweep(model: str = "opt-6.7b",
         specs[spec.label] = spec
         hardware = multi_gpu(base_hardware, spec.degree, link)
         for system_name, build in SERVING_SYSTEMS.items():
-            if system_name == "alisa":
-                simulator = AlisaSystem(model, hardware, kv_sparsity=0.8,
-                                        schedule_policy=policy,
-                                        parallelism=spec)
-            else:
-                simulator = build(model, hardware, parallelism=spec)
+            simulator = _build_simulator(system_name, build, model, hardware,
+                                         spec, policy)
             engines[(spec.label, system_name)] = \
                 ContinuousBatchingEngine(simulator)
     for rate in rates:
@@ -156,6 +213,110 @@ def serving_rate_sweep(model: str = "opt-6.7b",
     result.notes["exact_schedules"] = exact_schedules
     result.notes["parallelism"] = tuple(specs)
     result.notes["interconnect"] = link.name
+    result.notes["lengths"] = (
+        "sharegpt" if input_len is None or output_len is None
+        else f"fixed s={input_len} n={output_len}"
+    )
+    return result
+
+
+def _build_simulator(system_name, build, model, node, parallelism,
+                     schedule_policy):
+    """One serving simulator for a sweep row.
+
+    The single place both sweep axes construct systems, so ALISA's serving
+    configuration (``kv_sparsity=0.8`` plus the sweep's schedule policy)
+    can never diverge between the single-node and cluster paths.
+    """
+    if system_name == "alisa":
+        return AlisaSystem(model, node, kv_sparsity=0.8,
+                           schedule_policy=schedule_policy,
+                           parallelism=parallelism)
+    return build(model, node, parallelism=parallelism)
+
+
+def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
+                        link, schedule_policy, rates, num_requests, pattern,
+                        input_len, output_len, seed, ttft_slo_s, tpot_slo_s,
+                        exact_schedules, cluster, routing, pp_microbatches,
+                        require_equal_gpus) -> ExperimentResult:
+    """Cluster-axis body of :func:`serving_rate_sweep`.
+
+    One :class:`ReplicaGroup` per (cluster entry, system), reused across
+    every rate and routing policy so the per-replica schedule caches stay
+    warm for the whole sweep.
+    """
+    if routing is None:
+        routing = ("round-robin",)
+    policies = (routing,) if isinstance(routing, str) else tuple(routing)
+    if not policies:
+        raise ConfigurationError("routing needs at least one policy")
+    layouts: dict[str, ClusterLayout] = {}
+    for entry in cluster:
+        layout = ClusterLayout.parse(entry, pp_microbatches=pp_microbatches)
+        layouts.setdefault(layout.label, layout)
+    if not layouts:
+        raise ConfigurationError("cluster needs at least one layout entry")
+    if require_equal_gpus:
+        validate_equal_gpu_count(*[layout.cluster_spec(base_hardware, link)
+                                   for layout in layouts.values()])
+
+    def factory_for(system_name, build):
+        def factory(node, parallelism):
+            return _build_simulator(system_name, build, model, node,
+                                    parallelism, schedule_policy)
+        return factory
+
+    groups: dict[tuple[str, str], ReplicaGroup] = {}
+    for label, layout in layouts.items():
+        for system_name, build in SERVING_SYSTEMS.items():
+            groups[(label, system_name)] = ReplicaGroup.from_layout(
+                factory_for(system_name, build), layout, base_hardware,
+                interconnect=link, seed=seed)
+
+    for rate in rates:
+        requests = generate_requests(num_requests, rate, pattern=pattern,
+                                     seed=seed, input_len=input_len,
+                                     output_len=output_len)
+        for (label, system_name), group in groups.items():
+            layout = layouts[label]
+            for route_policy in policies:
+                trace = group.serve(requests, policy=route_policy, seed=seed)
+                summary = trace.summary()
+                solver = trace.metadata.get("scheduler", {})
+                result.add(
+                    model=model, hardware=group.cluster.node.name,
+                    system=system_name, cluster=label,
+                    num_replicas=layout.num_replicas,
+                    parallelism=layout.parallelism.label,
+                    gpu_count=layout.total_gpus, routing=route_policy,
+                    rate_req_per_s=rate, pattern=pattern,
+                    num_requests=summary["num_requests"],
+                    duration_s=summary["duration_s"],
+                    throughput_tokens_per_s=summary[
+                        "throughput_tokens_per_s"],
+                    goodput_tokens_per_s=trace.goodput(
+                        ttft_slo_s=ttft_slo_s, tpot_slo_s=tpot_slo_s),
+                    mean_queueing_delay_s=summary["mean_queueing_delay_s"],
+                    p50_ttft_s=summary["p50_ttft_s"],
+                    p99_ttft_s=summary["p99_ttft_s"],
+                    p50_tpot_s=summary["p50_tpot_s"],
+                    p99_tpot_s=summary["p99_tpot_s"],
+                    p99_latency_s=summary["p99_latency_s"],
+                    kv_budget_tokens=trace.metadata["kv_budget_tokens"],
+                    tokens_imbalance=summary["tokens_imbalance"],
+                    dispatch_counts=tuple(
+                        trace.metadata["routing"]["dispatch_counts"]),
+                    **{f"solver_{name}": solver.get(name, 0)
+                       for name in SOLVER_STAT_COLUMNS},
+                )
+    result.notes["ttft_slo_s"] = ttft_slo_s
+    result.notes["tpot_slo_s"] = tpot_slo_s
+    result.notes["exact_schedules"] = exact_schedules
+    result.notes["cluster"] = tuple(layouts)
+    result.notes["routing"] = policies
+    result.notes["interconnect"] = link.name
+    result.notes["seed"] = seed
     result.notes["lengths"] = (
         "sharegpt" if input_len is None or output_len is None
         else f"fixed s={input_len} n={output_len}"

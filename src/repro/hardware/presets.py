@@ -186,8 +186,18 @@ def multi_gpu(base: HardwareSpec, gpu_count: int,
     Every GPU keeps the per-GPU memory, compute, and host-link bandwidth of
     ``base``; only the GPU count and the GPU-to-GPU interconnect change, so
     single- vs. multi-GPU comparisons isolate the effect of sharding.
+
+    ``base`` must be a single-GPU node: deriving an ``xN`` node from an
+    already-multi-GPU spec would silently compound the GPU count (and stack
+    an ``-xN-`` suffix onto an ``-xM-`` name), so that is rejected.
     """
     validate_positive(gpu_count=gpu_count)
+    if base.gpu_count > 1:
+        raise ConfigurationError(
+            f"multi_gpu needs a single-GPU base spec, but {base.name!r} "
+            f"already has gpu_count={base.gpu_count}; derive the xN node "
+            "from the original single-GPU preset instead of compounding"
+        )
     if gpu_count == 1:
         return base
     return replace(base, name=f"{base.name}-x{gpu_count}-{interconnect.name}",
@@ -230,3 +240,61 @@ def hardware_for_model(model_name: str) -> HardwareSpec:
     if any(tag in lowered for tag in ("12b", "13b")):
         return V100_32GB_NODE
     return V100_16GB_NODE
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A data-parallel cluster: ``num_replicas`` identical serving nodes.
+
+    Each replica is one :class:`HardwareSpec` node (itself possibly
+    multi-GPU) running an independent model copy; a router spreads arrival
+    traffic across the replicas (:mod:`repro.cluster`).  The spec is pure
+    hardware description — how a replica shards its model over its node is
+    the replica's :class:`~repro.systems.cost.ParallelismSpec`, not the
+    cluster's concern.
+    """
+
+    name: str
+    node: HardwareSpec
+    num_replicas: int = 1
+
+    def __post_init__(self) -> None:
+        validate_positive(num_replicas=self.num_replicas)
+
+    @property
+    def total_gpus(self) -> int:
+        """GPUs across the whole cluster (replicas x GPUs per node)."""
+        return self.num_replicas * self.node.gpu_count
+
+    @property
+    def total_gpu_memory_bytes(self) -> float:
+        """Aggregate GPU memory across every replica of the cluster."""
+        return self.num_replicas * self.node.node_gpu_memory_bytes
+
+
+def cluster_of(node: HardwareSpec, num_replicas: int) -> ClusterSpec:
+    """A cluster of ``num_replicas`` copies of ``node``."""
+    validate_positive(num_replicas=num_replicas)
+    return ClusterSpec(name=f"{node.name}-dp{num_replicas}", node=node,
+                       num_replicas=num_replicas)
+
+
+def validate_equal_gpu_count(*clusters: ClusterSpec) -> int:
+    """Assert all ``clusters`` spend the same GPU count; return that count.
+
+    Cluster comparisons (TP-4 vs 2x(TP-2) vs 4x(TP-1)) are only meaningful
+    at equal total GPU count — otherwise the bigger cluster trivially wins.
+    """
+    if not clusters:
+        raise ConfigurationError(
+            "validate_equal_gpu_count needs at least one cluster"
+        )
+    counts = {spec.total_gpus for spec in clusters}
+    if len(counts) > 1:
+        detail = ", ".join(f"{spec.name}={spec.total_gpus}"
+                           for spec in clusters)
+        raise ConfigurationError(
+            f"clusters spend unequal GPU counts ({detail}); compare "
+            "configurations at equal total GPUs or drop the check"
+        )
+    return counts.pop()

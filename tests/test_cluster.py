@@ -1,0 +1,341 @@
+"""Tests for repro.cluster: layouts, routing, replica groups, cluster sweep."""
+
+import pytest
+
+from repro._common import ConfigurationError
+from repro.baselines import FlexGenSystem
+from repro.cluster import (
+    ROUTING_POLICIES,
+    ClusterLayout,
+    ClusterSpec,
+    ReplicaGroup,
+    Router,
+    cluster_of,
+    validate_equal_gpu_count,
+)
+from repro.core.engine import AlisaSystem
+from repro.experiments import run_experiment
+from repro.experiments.serving import max_sustained_rate
+from repro.hardware.presets import V100_16GB_NODE, V100_16GB_X2_NODE, multi_gpu
+from repro.serving import ContinuousBatchingEngine
+from repro.systems.cost import ParallelismSpec
+from repro.workloads.arrivals import generate_requests
+
+MODEL = "opt-6.7b"
+
+
+def alisa_factory(node, parallelism):
+    return AlisaSystem(MODEL, node, kv_sparsity=0.8, parallelism=parallelism)
+
+
+def flexgen_factory(node, parallelism):
+    return FlexGenSystem(MODEL, node, parallelism=parallelism)
+
+
+def group(layout="2x(none)", factory=alisa_factory, **kwargs):
+    return ReplicaGroup.from_layout(factory, layout, V100_16GB_NODE, **kwargs)
+
+
+class TestClusterSpec:
+    def test_totals_aggregate_over_replicas(self):
+        spec = cluster_of(V100_16GB_X2_NODE, 3)
+        assert spec.num_replicas == 3
+        assert spec.total_gpus == 6
+        assert spec.total_gpu_memory_bytes == \
+            3 * V100_16GB_X2_NODE.node_gpu_memory_bytes
+        assert spec.name == "v100-16gb-node-x2-nvlink-dp3"
+
+    def test_rejects_nonpositive_replicas(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec("bad", V100_16GB_NODE, num_replicas=0)
+
+    def test_equal_gpu_count_validation(self):
+        tp4 = cluster_of(multi_gpu(V100_16GB_NODE, 4), 1)
+        dp2_tp2 = cluster_of(V100_16GB_X2_NODE, 2)
+        dp4 = cluster_of(V100_16GB_NODE, 4)
+        assert validate_equal_gpu_count(tp4, dp2_tp2, dp4) == 4
+        with pytest.raises(ConfigurationError, match="unequal GPU counts"):
+            validate_equal_gpu_count(tp4, cluster_of(V100_16GB_NODE, 2))
+        with pytest.raises(ConfigurationError):
+            validate_equal_gpu_count()
+
+
+class TestMultiGPUCompounding:
+    def test_multi_gpu_rejects_multi_gpu_base(self):
+        # Deriving x2 from an x2 node used to silently yield gpu_count=2
+        # with a doubled name; it must fail loudly instead.
+        with pytest.raises(ConfigurationError, match="single-GPU base"):
+            multi_gpu(V100_16GB_X2_NODE, 2)
+        with pytest.raises(ValueError):  # ConfigurationError is a ValueError
+            multi_gpu(multi_gpu(V100_16GB_NODE, 4), 2)
+
+    def test_multi_gpu_still_accepts_single_gpu_base(self):
+        assert multi_gpu(V100_16GB_NODE, 2).gpu_count == 2
+        assert multi_gpu(V100_16GB_NODE, 1) is V100_16GB_NODE
+
+
+class TestClusterLayout:
+    def test_parse_round_trips_labels(self):
+        for spec, replicas, mode, degree, label in (
+                ("tp-4", 1, "tp", 4, "tp-4"),
+                ("2x(tp-2)", 2, "tp", 2, "2x(tp-2)"),
+                ("4x(tp-1)", 4, "none", 1, "4x(none)"),
+                ("4 x (pp-2)", 4, "pp", 2, "4x(pp-2)"),
+                ("none", 1, "none", 1, "none"),
+                ("2x(none)", 2, "none", 1, "2x(none)")):
+            layout = ClusterLayout.parse(spec)
+            assert layout.num_replicas == replicas
+            assert (layout.parallelism.mode,
+                    layout.parallelism.degree) == (mode, degree)
+            assert layout.label == label
+            assert ClusterLayout.parse(layout.label) == layout
+
+    def test_total_gpus(self):
+        assert ClusterLayout.parse("2x(tp-2)").total_gpus == 4
+        assert ClusterLayout.parse("4x(tp-1)").total_gpus == 4
+        assert ClusterLayout.parse("tp-4").total_gpus == 4
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("2x(tp-2", "x(tp-2)", "2x()", "2x(dp-2)", "0x(tp-2)",
+                    "2x(2x(none))", ""):
+            with pytest.raises(ConfigurationError):
+                ClusterLayout.parse(bad)
+
+    def test_cluster_spec_materializes_nodes(self):
+        spec = ClusterLayout.parse("2x(tp-2)").cluster_spec(V100_16GB_NODE)
+        assert spec.num_replicas == 2
+        assert spec.node.gpu_count == 2
+        assert spec.total_gpus == 4
+
+
+class TestRouter:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="routing policy"):
+            Router(2, policy="random")
+
+    def test_round_robin_cycles(self):
+        router = Router(3, policy="round-robin")
+        requests = generate_requests(6, rate=4.0, input_len=8, output_len=8)
+        picks = [router.assign(r, [1.0, 1.0, 1.0]) for r in requests]
+        assert picks == [0, 1, 2, 0, 1, 2]
+        assert router.dispatch_counts == [2, 2, 2]
+
+    def test_jsq_prefers_lighter_kv_footprint(self):
+        router = Router(2, policy="jsq", seed=0)
+        heavy = generate_requests(1, rate=1.0, input_len=512,
+                                  output_len=512)[0]
+        first = router.assign(heavy, [100.0, 100.0])
+        light = generate_requests(2, rate=1000.0, input_len=8,
+                                  output_len=8)[1]
+        # The heavy request is still in flight, so the light one must go
+        # to the other replica.
+        assert router.assign(light, [100.0, 100.0]) == 1 - first
+
+    def test_least_loaded_prefers_earliest_completion(self):
+        router = Router(2, policy="least-loaded", seed=0)
+        requests = generate_requests(3, rate=1000.0, input_len=8,
+                                     output_len=8)
+        # Replica 1 serves twice as fast: it absorbs two requests (backlog
+        # finishing at ~1 then ~2) before replica 0's first slot (~2)
+        # becomes the earlier completion.
+        assert router.assign(requests[0], [2.0, 1.0]) == 1
+        assert router.assign(requests[1], [2.0, 1.0]) == 1
+        assert router.assign(requests[2], [2.0, 1.0]) == 0
+
+    def test_service_estimate_arity_checked(self):
+        router = Router(2, policy="jsq")
+        request = generate_requests(1, rate=1.0, input_len=8, output_len=8)[0]
+        with pytest.raises(ConfigurationError):
+            router.assign(request, [1.0])
+
+    def test_tie_breaking_is_seed_deterministic(self):
+        requests = generate_requests(12, rate=8.0, input_len=64,
+                                     output_len=32, seed=3)
+
+        def split(seed):
+            router = Router(4, policy="jsq", seed=seed)
+            return [router.assign(r, [1.0] * 4) for r in requests]
+
+        assert split(7) == split(7)
+        seeds = {tuple(split(seed)) for seed in range(8)}
+        assert len(seeds) > 1  # ties genuinely resolve by the seed
+
+
+class TestReplicaGroup:
+    def test_needs_engines_and_homogeneous_system(self):
+        with pytest.raises(ConfigurationError):
+            ReplicaGroup([])
+        mixed = [
+            ContinuousBatchingEngine(alisa_factory(V100_16GB_NODE,
+                                                   ParallelismSpec())),
+            ContinuousBatchingEngine(flexgen_factory(V100_16GB_NODE,
+                                                     ParallelismSpec())),
+        ]
+        with pytest.raises(ConfigurationError, match="one system"):
+            ReplicaGroup(mixed)
+
+    def test_from_layout_builds_independent_replicas(self):
+        quad = group("4x(tp-1)")
+        assert quad.num_replicas == 4
+        assert quad.total_gpus == 4
+        simulators = {id(engine.simulator) for engine in quad.engines}
+        assert len(simulators) == 4
+        caches = {id(engine.simulator.schedule_cache)
+                  for engine in quad.engines}
+        assert len(caches) == 4  # per-replica schedule caches
+
+    def test_single_replica_round_robin_is_bit_identical_to_direct_serve(self):
+        requests = generate_requests(12, rate=16.0, input_len=256,
+                                     output_len=128, seed=5)
+        cluster_trace = group("none", policy="round-robin").serve(requests)
+        direct = ContinuousBatchingEngine(
+            alisa_factory(V100_16GB_NODE, ParallelismSpec())).serve(requests)
+        assert cluster_trace.records == direct.records
+        direct_summary = direct.summary()
+        cluster_summary = cluster_trace.summary()
+        assert all(cluster_summary[key] == value
+                   for key, value in direct_summary.items())
+        assert cluster_trace.metadata["routing"]["dispatch_counts"] == [12]
+        assert cluster_trace.tokens_imbalance == 1.0
+
+    @pytest.mark.parametrize("policy", ROUTING_POLICIES)
+    def test_bursty_trace_completes_under_every_policy(self, policy):
+        requests = generate_requests(24, rate=16.0, pattern="bursty",
+                                     seed=1)  # ShareGPT-style lengths
+        trace = group("2x(none)", policy=policy).serve(requests)
+        assert trace.num_requests == len(requests)
+        assert sorted(r.request_id for r in trace.records) == list(range(24))
+        counts = trace.metadata["routing"]["dispatch_counts"]
+        assert sum(counts) == 24
+        assert all(count > 0 for count in counts)  # no starved replica
+        assert trace.metadata["routing"]["policy"] == policy
+        assert len(trace.metadata["replicas"]) == 2
+        completions = [r.completion_time for r in trace.records]
+        assert completions == sorted(completions)
+
+    @pytest.mark.parametrize("policy", ROUTING_POLICIES)
+    def test_serve_is_deterministic_run_to_run(self, policy):
+        requests = generate_requests(16, rate=32.0, pattern="bursty", seed=2)
+        first = group("2x(none)", policy=policy, seed=2).serve(requests)
+        second = group("2x(none)", policy=policy, seed=2).serve(requests)
+        assert first.records == second.records
+        assert (first.metadata["routing"]
+                == second.metadata["routing"])
+
+    def test_sharded_replicas_serve(self):
+        requests = generate_requests(8, rate=8.0, input_len=128,
+                                     output_len=64, seed=1)
+        duo = group("2x(tp-2)", factory=flexgen_factory, policy="jsq")
+        trace = duo.serve(requests)
+        assert trace.num_requests == 8
+        assert trace.metadata["total_gpus"] == 4
+        for replica in trace.replica_traces:
+            assert replica.metadata["parallelism"]["label"] == "tp-2"
+
+    def test_cluster_kv_budget_aggregates_replicas(self):
+        requests = generate_requests(8, rate=8.0, input_len=64,
+                                     output_len=32, seed=0)
+        duo = group("2x(none)")
+        trace = duo.serve(requests)
+        expected = sum(engine.kv_budget_tokens(requests)
+                       for engine in duo.engines)
+        assert trace.metadata["kv_budget_tokens"] == expected
+
+    def test_cluster_kv_budget_independent_of_routing_split(self):
+        # Two requests on four replicas: round-robin starves two replicas,
+        # but the reported cluster budget is a hardware fact and must not
+        # shrink with the split.
+        requests = generate_requests(2, rate=8.0, input_len=64,
+                                     output_len=32, seed=0)
+        quad = group("4x(none)")
+        trace = quad.serve(requests, policy="round-robin")
+        assert trace.metadata["routing"]["dispatch_counts"] == [1, 1, 0, 0]
+        expected = sum(engine.kv_budget_tokens(requests)
+                       for engine in quad.engines)
+        assert trace.metadata["kv_budget_tokens"] == expected
+
+    def test_scheduler_stats_summed_across_replicas(self):
+        requests = generate_requests(12, rate=16.0, input_len=128,
+                                     output_len=64, seed=4)
+        trace = group("2x(none)").serve(requests)
+        stats = trace.metadata["scheduler"]
+        assert stats["full_solves"] >= 1
+        per_replica = [replica.metadata["scheduler"]["full_solves"]
+                       for replica in trace.replica_traces]
+        assert stats["full_solves"] == sum(per_replica)
+
+
+class TestClusterSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # A bursty ShareGPT-style trace on two single-GPU replicas: at 16
+        # req/s both routers keep up; at 32 req/s round-robin's blind split
+        # parks long conversations behind each other while JSQ's KV-token
+        # queue view keeps the replicas drained.
+        return run_experiment(
+            "serving_rate_sweep", rates=(16.0, 32.0), num_requests=40,
+            pattern="bursty", input_len=None, output_len=None, seed=0,
+            cluster=("2x(tp-1)",), routing=("round-robin", "jsq"))
+
+    def test_one_invocation_compares_equal_gpu_layouts(self):
+        result = run_experiment(
+            "serving_rate_sweep", rates=(8.0,), num_requests=8,
+            input_len=64, output_len=32,
+            cluster=("tp-4", "2x(tp-2)", "4x(tp-1)"), routing="jsq")
+        combos = {(row["cluster"], row["num_replicas"], row["gpu_count"])
+                  for row in result.rows}
+        assert combos == {("tp-4", 1, 4), ("2x(tp-2)", 2, 4),
+                          ("4x(none)", 4, 4)}
+        assert len(result.rows) == 3 * 3  # layouts x systems
+        assert result.notes["cluster"] == ("tp-4", "2x(tp-2)", "4x(none)")
+
+    def test_unequal_gpu_layouts_rejected_by_default(self):
+        with pytest.raises(ConfigurationError, match="unequal GPU counts"):
+            run_experiment("serving_rate_sweep", rates=(8.0,),
+                           num_requests=4, input_len=64, output_len=32,
+                           cluster=("tp-2", "4x(tp-1)"))
+        result = run_experiment("serving_rate_sweep", rates=(8.0,),
+                                num_requests=4, input_len=64, output_len=32,
+                                cluster=("tp-2", "4x(tp-1)"),
+                                require_equal_gpus=False)
+        assert {row["gpu_count"] for row in result.rows} == {2, 4}
+
+    def test_cluster_and_parallelism_axes_are_exclusive(self):
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            run_experiment("serving_rate_sweep", rates=(8.0,),
+                           num_requests=4, input_len=64, output_len=32,
+                           cluster=("2x(tp-1)",), parallelism=("tp-2",))
+
+    def test_routing_without_cluster_rejected(self):
+        with pytest.raises(ConfigurationError, match="cluster axis"):
+            run_experiment("serving_rate_sweep", rates=(8.0,),
+                           num_requests=4, input_len=64, output_len=32,
+                           routing="jsq")
+
+    def test_jsq_sustains_strictly_higher_rate_than_round_robin(self, result):
+        round_robin = max_sustained_rate(result, system="alisa",
+                                         cluster="2x(tp-1)",
+                                         routing="round-robin",
+                                         max_queueing_delay_s=0.13)
+        jsq = max_sustained_rate(result, system="alisa", cluster="2x(tp-1)",
+                                 routing="jsq", max_queueing_delay_s=0.13)
+        assert jsq > round_robin
+        assert round_robin > 0.0
+
+    def test_rows_carry_cluster_columns(self, result):
+        for row in result.rows:
+            assert row["cluster"] == "2x(none)"
+            assert row["num_replicas"] == 2
+            assert row["routing"] in ("round-robin", "jsq")
+            assert sum(row["dispatch_counts"]) == 40
+            assert row["tokens_imbalance"] >= 1.0
+        assert result.notes["routing"] == ("round-robin", "jsq")
+        assert result.notes["seed"] == 0
+
+    def test_sweep_is_deterministic(self):
+        kwargs = dict(rates=(16.0,), num_requests=12, pattern="bursty",
+                      input_len=None, output_len=None, seed=3,
+                      cluster=("2x(tp-1)",), routing="jsq")
+        first = run_experiment("serving_rate_sweep", **kwargs)
+        second = run_experiment("serving_rate_sweep", **kwargs)
+        assert first.rows == second.rows
