@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
+from repro.core.engine import AlisaSystem
 from repro.experiments import run_experiment
+from repro.hardware.presets import V100_16GB_NODE
+from repro.serving import ContinuousBatchingEngine
+from repro.workloads.arrivals import generate_requests
 
 
 @pytest.mark.benchmark(group="serving")
@@ -28,6 +34,39 @@ def test_bench_serving_bursty_sharegpt(benchmark, record_rows):
     for row in result.rows:
         assert row["num_requests"] == 16
         assert row["throughput_tokens_per_s"] > 0
+
+
+@pytest.mark.benchmark(group="serving")
+def test_bench_serving_fast_path(benchmark):
+    """Steady-state serving at the highest sweep rate (epoch fast path).
+
+    Benchmarks ``serve()`` on a long-lived engine — the deployment shape,
+    where prefill-plan/epoch-price caches are warm — at the highest
+    arrival rate of the serving sweep, and cross-checks the vectorized
+    fast path against the ``exact_stepping=True`` per-step loop: the
+    traces must be bit-identical and the fast path at least 5x faster.
+    """
+    requests = generate_requests(16, rate=16.0, input_len=256,
+                                 output_len=128, seed=0)
+    engine = ContinuousBatchingEngine(
+        AlisaSystem("opt-6.7b", V100_16GB_NODE, kv_sparsity=0.8))
+    fast_trace = engine.serve(requests)  # warm the pricing caches once
+    benchmark(engine.serve, requests)
+
+    exact_engine = ContinuousBatchingEngine(
+        AlisaSystem("opt-6.7b", V100_16GB_NODE, kv_sparsity=0.8,
+                    exact_stepping=True))
+    exact_trace = exact_engine.serve(requests)  # warm the schedule cache
+    start = time.perf_counter()
+    exact_trace = exact_engine.serve(requests)
+    exact_seconds = time.perf_counter() - start
+
+    assert fast_trace.records == exact_trace.records  # bit-identical
+    speedup = exact_seconds / benchmark.stats["mean"]
+    benchmark.extra_info["exact_stepping_seconds"] = exact_seconds
+    benchmark.extra_info["speedup_vs_exact_stepping"] = speedup
+    assert speedup >= 5.0, (
+        f"epoch fast path only {speedup:.1f}x faster than exact stepping")
 
 
 @pytest.mark.benchmark(group="serving")

@@ -14,8 +14,14 @@ the maximum sequence length, as FlexGen's planner would.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro._common import validate_fraction
-from repro.systems.simulator import InferenceSimulator, SystemStepPlan
+from repro.systems.simulator import (
+    EpochPlan,
+    InferenceSimulator,
+    SystemStepPlan,
+)
 from repro.workloads.descriptors import Workload
 
 PHASE_STATIC = "static"
@@ -77,3 +83,17 @@ class FlexGenSystem(InferenceSimulator):
             cpu_attention_tokens=cpu_tokens,
             offload_kv_tokens=self._cpu_fraction,
         )
+
+    def plan_decode_epoch(self, workload: Workload) -> EpochPlan:
+        seq = workload.input_len + np.arange(workload.output_len) + 1
+        cpu_tokens = self._cpu_fraction * seq
+        return EpochPlan(
+            phases=(PHASE_STATIC,) * workload.output_len,
+            kv_gpu_tokens=seq - cpu_tokens,
+            kv_cpu_tokens=cpu_tokens,
+            cpu_attention_tokens=cpu_tokens,
+            offload_kv_tokens=np.full(seq.size, self._cpu_fraction),
+        )
+
+    def pricing_signature(self) -> tuple:
+        return super().pricing_signature() + (self._requested_cpu_fraction,)

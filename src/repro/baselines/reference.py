@@ -15,10 +15,21 @@ These three systems bracket the design space the paper explores:
 
 from __future__ import annotations
 
-from repro.systems.simulator import InferenceSimulator, SystemStepPlan
+import numpy as np
+
+from repro.systems.simulator import (
+    EpochPlan,
+    InferenceSimulator,
+    SystemStepPlan,
+)
 from repro.workloads.descriptors import Workload
 
 PHASE_STATIC = "static"
+
+
+def _decode_seq_lens(workload: Workload) -> np.ndarray:
+    """Per-step sequence lengths of a full decode epoch."""
+    return workload.input_len + np.arange(workload.output_len) + 1
 
 
 class GPUOnlySystem(InferenceSimulator):
@@ -35,6 +46,11 @@ class GPUOnlySystem(InferenceSimulator):
         seq_len = workload.input_len + step + 1
         return SystemStepPlan(phase=PHASE_STATIC, kv_gpu_tokens=seq_len,
                               kv_cpu_tokens=0.0)
+
+    def plan_decode_epoch(self, workload: Workload) -> EpochPlan:
+        seq = _decode_seq_lens(workload)
+        return EpochPlan(phases=(PHASE_STATIC,) * workload.output_len,
+                         kv_gpu_tokens=seq, kv_cpu_tokens=np.zeros(seq.size))
 
 
 class AccelerateSystem(InferenceSimulator):
@@ -59,6 +75,16 @@ class AccelerateSystem(InferenceSimulator):
             kv_cpu_tokens=seq_len,
             load_kv_tokens=float(seq_len - 1),
             offload_kv_tokens=1.0,
+        )
+
+    def plan_decode_epoch(self, workload: Workload) -> EpochPlan:
+        seq = _decode_seq_lens(workload)
+        return EpochPlan(
+            phases=(PHASE_STATIC,) * workload.output_len,
+            kv_gpu_tokens=np.zeros(seq.size),
+            kv_cpu_tokens=seq,
+            load_kv_tokens=(seq - 1).astype(np.float64),
+            offload_kv_tokens=np.ones(seq.size),
         )
 
 
@@ -89,4 +115,12 @@ class DeepSpeedZeroSystem(InferenceSimulator):
         return SystemStepPlan(
             phase=PHASE_STATIC, kv_gpu_tokens=seq_len, kv_cpu_tokens=0.0,
             extra_h2d_bytes=self.cost_model.weight_bytes(),
+        )
+
+    def plan_decode_epoch(self, workload: Workload) -> EpochPlan:
+        seq = _decode_seq_lens(workload)
+        return EpochPlan(
+            phases=(PHASE_STATIC,) * workload.output_len,
+            kv_gpu_tokens=seq, kv_cpu_tokens=np.zeros(seq.size),
+            extra_h2d_bytes=np.full(seq.size, self.cost_model.weight_bytes()),
         )

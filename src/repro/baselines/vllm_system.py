@@ -28,8 +28,14 @@ from __future__ import annotations
 import math
 from dataclasses import replace
 
+import numpy as np
+
 from repro._common import validate_positive
-from repro.systems.simulator import InferenceSimulator, SystemStepPlan
+from repro.systems.simulator import (
+    EpochPlan,
+    InferenceSimulator,
+    SystemStepPlan,
+)
 from repro.systems.trace import InferenceTrace
 from repro.workloads.descriptors import Workload
 
@@ -86,6 +92,15 @@ class VLLMSystem(InferenceSimulator):
             phase=PHASE_GPU if self._waves == 1 else PHASE_WAVES,
             kv_gpu_tokens=seq_len, kv_cpu_tokens=0.0,
         )
+
+    def plan_decode_epoch(self, workload: Workload) -> EpochPlan:
+        seq = workload.input_len + np.arange(workload.output_len) + 1
+        phase = PHASE_GPU if self._waves == 1 else PHASE_WAVES
+        return EpochPlan(phases=(phase,) * workload.output_len,
+                         kv_gpu_tokens=seq, kv_cpu_tokens=np.zeros(seq.size))
+
+    def pricing_signature(self) -> tuple:
+        return super().pricing_signature() + (self.block_size,)
 
     # ------------------------------------------------------------------ #
     def run(self, workload: Workload) -> InferenceTrace:

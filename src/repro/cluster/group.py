@@ -81,6 +81,32 @@ class ReplicaGroup:
         self.cluster = cluster
         self._service_estimates: list[dict[tuple[int, int], float]] = \
             [{} for _ in engines]
+        self._share_pricing_caches()
+
+    def _share_pricing_caches(self) -> None:
+        """Let replicas with identical pricing share prefill/epoch caches.
+
+        Replicas routed shares of one arrival trace see heavily overlapping
+        epoch and prefill shapes; when their simulators price identically
+        (equal ``pricing_signature``) and their engines use the same
+        admission knobs, the first replica to price a shape serves it for
+        all of them.  Prefill plans are always safe to share (placement
+        depends only on the shape and the KV budget).  Priced epochs are
+        shared only when the simulator's pricing is *shape-pure*
+        (``pricing_is_shape_pure``): ALISA's warm-started schedule search
+        seeds from its own replica-local solver history, so its priced
+        epochs stay per replica unless the exact schedule policy is in
+        force.  Schedule caches are never shared.
+        """
+        leaders: dict[tuple, ContinuousBatchingEngine] = {}
+        for engine in self.engines:
+            key = (engine.simulator.pricing_signature(),
+                   engine.max_batch_size, engine.reserve_fraction)
+            leader = leaders.setdefault(key, engine)
+            if leader is not engine:
+                engine.adopt_pricing_caches(
+                    leader,
+                    share_epochs=engine.simulator.pricing_is_shape_pure())
 
     # ------------------------------------------------------------------ #
     # construction helpers

@@ -36,6 +36,8 @@ instead; this class only models time and memory.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro._common import ConfigurationError, validate_fraction
 from repro.core.optimizer import (
     SchedulerOptimizer,
@@ -54,7 +56,11 @@ from repro.core.scheduler import (
     SchedulerConfig,
 )
 from repro.core.swa import SWAConfig
-from repro.systems.simulator import InferenceSimulator, SystemStepPlan
+from repro.systems.simulator import (
+    EpochPlan,
+    InferenceSimulator,
+    SystemStepPlan,
+)
 from repro.workloads.descriptors import Workload
 
 
@@ -303,6 +309,84 @@ class AlisaSystem(InferenceSimulator):
             load_kv_tokens=load_tokens,
             offload_kv_tokens=newly_offloaded,
             quantize_tokens=self._quantized(load_tokens + newly_offloaded),
+        )
+
+    def plan_decode_epoch(self, workload: Workload) -> EpochPlan:
+        """Array-wise decode plans for a whole epoch (the pricing fast path).
+
+        Vectorized equivalent of calling :meth:`plan_decode_step` once per
+        step: the dynamic-scheduling path delegates to
+        :meth:`~repro.core.scheduler.DynamicScheduler.plan_epoch` and the
+        static ablation evaluates its closed-form split elementwise.  Does
+        not consume scheduler steps, so it can be re-invoked after a fresh
+        ``prepare``/``plan_prefill`` like the step loop can.
+        """
+        num_steps = workload.output_len
+        if self.use_dynamic_scheduling:
+            if self._scheduler is None:
+                raise ConfigurationError("prepare() must run before planning")
+            epoch = self._scheduler.plan_epoch(num_steps)
+            moved = epoch.load_tokens + epoch.offload_tokens
+            return EpochPlan(
+                phases=epoch.phases,
+                kv_gpu_tokens=epoch.tokens_gpu,
+                kv_cpu_tokens=epoch.tokens_cpu,
+                kept_kv=epoch.kept_tokens,
+                local_windows=epoch.kept_local,
+                load_kv_tokens=epoch.load_tokens,
+                offload_kv_tokens=epoch.offload_tokens,
+                recompute_tokens=epoch.recompute_tokens,
+                quantize_tokens=moved if self.use_compression else None,
+            )
+
+        # Static ablation: fixed split, sparse attention, no recomputation
+        # (the closed form of plan_decode_step, elementwise over steps).
+        seq = workload.input_len + np.arange(num_steps) + 1
+        num_local, num_global = self.swa.split_budget_batch(seq)
+        fraction = self._static_cpu_fraction
+        cpu_tokens = fraction * seq
+        newly_offloaded = cpu_tokens - fraction * (seq - 1)
+        non_local = np.maximum(1, seq - num_local)
+        cpu_fraction_of_candidates = np.minimum(1.0, cpu_tokens / non_local)
+        load_tokens = num_global * cpu_fraction_of_candidates
+        phases = np.where(cpu_tokens == 0, PHASE_GPU, PHASE_GPU_CPU)
+        moved = load_tokens + newly_offloaded
+        return EpochPlan(
+            phases=tuple(phases.tolist()),
+            kv_gpu_tokens=seq - cpu_tokens,
+            kv_cpu_tokens=cpu_tokens,
+            kept_kv=num_local + num_global,
+            local_windows=num_local,
+            load_kv_tokens=load_tokens,
+            offload_kv_tokens=newly_offloaded,
+            quantize_tokens=moved if self.use_compression else None,
+        )
+
+    def pricing_is_shape_pure(self) -> bool:
+        """Dynamic-scheduling epochs are shape-pure only under ``exact``.
+
+        The full grid search solves a shape deterministically from the
+        shape alone; warm-started/canonical solves seed from whatever
+        nearby shapes this system's :class:`ScheduleCache` happened to see
+        first, so their priced epochs depend on solver history.  The
+        static ablation plans without the solver and is always pure.
+        """
+        return (not self.use_dynamic_scheduling
+                or self._fixed_scheduler_config is not None
+                or self.schedule_policy.exact)
+
+    def pricing_signature(self) -> tuple:
+        """Extend the base signature with ALISA's own pricing knobs.
+
+        The schedule policy is part of the signature because non-exact
+        policies may pick (slightly) different schedules for the same
+        shape; two systems only price identically when they share it.
+        """
+        return super().pricing_signature() + (
+            self.kv_sparsity, self.swa.caching_ratio, self.swa.local_fraction,
+            self.use_dynamic_scheduling, self.use_compression,
+            self.enable_recomputation, self._fixed_scheduler_config,
+            self.schedule_policy,
         )
 
     # ------------------------------------------------------------------ #

@@ -135,6 +135,26 @@ class ProfileTable:
             )
         return self._compute_cache[sequence_length]
 
+    def ensure_compute_range(self, seq_lens: np.ndarray) -> None:
+        """Bulk-fill the compute cache for ``seq_lens`` in one array pass.
+
+        Prices every uncached sequence length through the cost model's
+        vectorized step formula — bit-identical to :meth:`compute_time`'s
+        scalar path, so callers see the same values either way, just
+        without a Python pricing call per sequence length.
+        """
+        missing = [int(q) for q in np.unique(np.asarray(seq_lens))
+                   if int(q) not in self._compute_cache]
+        if not missing:
+            return
+        seq = np.asarray(missing, dtype=np.int64)
+        num_local, num_global = self.swa.split_budget_batch(seq)
+        times = self.cost_model.decode_step_time_batch(
+            self.workload.batch_size, seq,
+            kept_kv=num_local + num_global, local_windows=num_local)
+        for sequence_length, time in zip(missing, times):
+            self._compute_cache[sequence_length] = float(time)
+
     def recompute_time(self, num_tokens: float) -> float:
         """Time to recompute the KV projections of ``num_tokens`` tokens."""
         key = int(round(num_tokens))
@@ -203,7 +223,9 @@ class _FastObjective:
         self.prefill_cpu = max(0, s - gpu_budget)
 
         # Per-step GPU compute time is candidate-independent: precompute the
-        # whole-run total once (through the shared ProfileTable cache).
+        # whole-run total once (through the shared ProfileTable cache,
+        # bulk-filled array-wise).
+        profile.ensure_compute_range(seq)
         self.compute_total = float(
             sum(profile.compute_time(int(q)) for q in seq)
         )
@@ -309,6 +331,8 @@ class SchedulerOptimizer:
         """Run the search and return the best scheduler configuration."""
         gpu_budget = gpu_kv_budget_tokens(self.cost_model, self.workload,
                                           self.kv_dtype, weights_on_gpu)
+        self.profile.ensure_compute_range(
+            self.workload.input_len + np.arange(self.workload.output_len) + 1)
         p1 = phase1_end_step(gpu_budget, self.workload)
         p2_candidates = self._p2_candidates(p1)
 

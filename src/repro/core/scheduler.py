@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro._common import ConfigurationError, round_half_up, validate_fraction, validate_positive
 from repro.core.swa import SWAConfig
 
@@ -90,6 +92,30 @@ class StepPlan:
                 f"token placement ({total}) does not cover the sequence "
                 f"({self.sequence_length})"
             )
+
+
+@dataclass(frozen=True)
+class EpochSchedule:
+    """Array-of-structs view of ``num_steps`` consecutive step plans.
+
+    Produced by :meth:`DynamicScheduler.plan_epoch`; entry ``j`` of every
+    array equals the corresponding field of the :class:`StepPlan` that
+    ``plan_step(j)`` would return from the same post-prefill state.
+    """
+
+    phases: tuple[str, ...]
+    kept_local: np.ndarray
+    kept_global: np.ndarray
+    tokens_gpu: np.ndarray
+    tokens_cpu: np.ndarray
+    tokens_deleted: np.ndarray
+    load_tokens: np.ndarray
+    offload_tokens: np.ndarray
+    recompute_tokens: np.ndarray
+
+    @property
+    def kept_tokens(self) -> np.ndarray:
+        return self.kept_local + self.kept_global
 
 
 @dataclass
@@ -255,3 +281,89 @@ class DynamicScheduler:
         plans = [self.plan_prefill()]
         plans.extend(self.plan_step(j) for j in range(num_steps))
         return plans
+
+    # ------------------------------------------------------------------ #
+    # vectorized epoch planning (the serving fast path)
+    # ------------------------------------------------------------------ #
+    def plan_epoch(self, num_steps: int) -> EpochSchedule:
+        """Plan steps ``0 .. num_steps - 1`` in one vectorized call.
+
+        Non-mutating equivalent of calling :meth:`plan_step` ``num_steps``
+        times from the post-prefill state: Phases I/II are closed-form in
+        the step index and evaluate array-wise; Phase III's deleted-token
+        count is an inherently sequential recurrence (each step's deletion
+        target depends on the previous step's), so it runs as a tight
+        integer loop — still orders of magnitude cheaper than building and
+        validating a :class:`StepPlan` per step.
+        """
+        if not self._prefilled:
+            raise ConfigurationError("plan_prefill must run before plan_epoch")
+        if self._next_step != 0:
+            raise ConfigurationError(
+                "plan_epoch requires a fresh post-prefill scheduler (steps "
+                f"0..{self._next_step - 1} were already planned step-wise)"
+            )
+        validate_positive(num_steps=num_steps)
+        alpha = self.config.offload_ratio
+        beta = self.config.recompute_ratio
+        budget = self.gpu_budget_tokens
+
+        steps = np.arange(num_steps)
+        seq = self.prompt_len + steps + 1
+        num_local, num_global = self.swa.split_budget_batch(seq)
+        in_phase3 = steps >= self.config.phase3_step
+        in_phase2 = (~in_phase3) & ((steps >= self.config.phase2_step)
+                                    | (seq > budget))
+        offloading = in_phase2 | in_phase3
+
+        tokens_cpu = np.zeros(num_steps, dtype=np.int64)
+        tokens_deleted = np.zeros(num_steps, dtype=np.int64)
+
+        # Phase II: nothing has been deleted yet, so the CPU-resident target
+        # is a pure function of the step.
+        non_local = np.maximum(0, seq - num_local)
+        target_cpu = np.maximum(
+            np.floor(alpha * non_local + 0.5).astype(np.int64),
+            np.maximum(0, seq - budget))
+        tokens_cpu = np.where(in_phase2, np.minimum(target_cpu, non_local),
+                              tokens_cpu)
+
+        # Phase III: the deletion recurrence (Algorithm 2's running `beta`
+        # fraction of an evolving CPU-resident set) steps sequentially.
+        deleted = 0
+        for j in range(int(self.config.phase3_step), num_steps):
+            seq_j = int(seq[j])
+            candidates = max(0, seq_j - deleted - int(num_local[j]))
+            target = max(round_half_up(alpha * candidates),
+                         max(0, seq_j - deleted - budget))
+            target = min(target, candidates)
+            target_deleted = round_half_up(beta * (target + deleted))
+            newly_deleted = min(max(0, target_deleted - deleted), target)
+            deleted += newly_deleted
+            tokens_cpu[j] = target - newly_deleted
+            tokens_deleted[j] = deleted
+
+        # The step's offload is the growth of the CPU-resident share over
+        # the previous plan (the post-prefill placement for step 0).
+        previous_cpu = np.concatenate(([self.state.tokens_cpu],
+                                       tokens_cpu[:-1]))
+        offload = np.where(offloading,
+                           np.maximum(0.0, (tokens_cpu - previous_cpu)
+                                      .astype(np.float64)),
+                           0.0)
+        non_local_total = np.maximum(1, seq - num_local)
+        load = np.where(offloading,
+                        num_global * (tokens_cpu / non_local_total), 0.0)
+        recompute = np.where(offloading,
+                             num_global * (tokens_deleted / non_local_total),
+                             0.0)
+        phases = np.where(in_phase3, PHASE_RECOMPUTE,
+                          np.where(in_phase2, PHASE_GPU_CPU, PHASE_GPU))
+        return EpochSchedule(
+            phases=tuple(phases.tolist()),
+            kept_local=num_local, kept_global=num_global,
+            tokens_gpu=seq - tokens_cpu - tokens_deleted,
+            tokens_cpu=tokens_cpu, tokens_deleted=tokens_deleted,
+            load_tokens=load, offload_tokens=offload,
+            recompute_tokens=recompute,
+        )

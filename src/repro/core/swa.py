@@ -78,6 +78,30 @@ class SWAConfig:
             num_global = 1 if total > num_local else 0
         return num_local, num_global
 
+    def split_budget_batch(self, seq_lens: np.ndarray
+                           ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`split_budget` over an array of sequence lengths.
+
+        Applies the identical rounding (``⌊x + 0.5⌋``) and clamping rules
+        elementwise, so ``split_budget_batch(seq)[...][j]`` always equals
+        ``split_budget(seq[j])`` — relied on by the epoch-granular pricing
+        fast path of the system simulators.
+        """
+        seq = np.asarray(seq_lens, dtype=np.int64)
+        if np.any(seq <= 0):
+            raise ConfigurationError("seq_len must be positive")
+        total = np.maximum(
+            2, np.floor(seq * self.caching_ratio + 0.5).astype(np.int64))
+        total = np.minimum(total, seq)
+        num_local = np.maximum(
+            1, np.floor(total * self.local_fraction + 0.5).astype(np.int64))
+        num_local = np.minimum(num_local, seq)
+        num_global = np.maximum(
+            0, np.minimum(total - num_local, seq - num_local))
+        bump = (num_global == 0) & (seq > num_local) & (total > num_local)
+        num_global = np.where(bump, 1, num_global)
+        return num_local, num_global
+
 
 @dataclass(frozen=True)
 class SWASelection:

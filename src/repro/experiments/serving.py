@@ -100,6 +100,7 @@ def serving_rate_sweep(model: str = "opt-6.7b",
                        ttft_slo_s: float = 5.0,
                        tpot_slo_s: float = 0.2,
                        exact_schedules: bool = False,
+                       exact_stepping: bool = False,
                        parallelism: tuple[str, ...] = ("none",),
                        interconnect: str = "nvlink",
                        pp_microbatches: int = 4,
@@ -132,7 +133,10 @@ def serving_rate_sweep(model: str = "opt-6.7b",
     to rate; per-serve solver counters are reported in the ``solver_*``
     columns.  ``exact_schedules=True`` makes ALISA re-solve with the
     paper's full grid search for every new epoch shape (byte-identical
-    schedules, much slower at high arrival rates).
+    schedules, much slower at high arrival rates).  ``exact_stepping=True``
+    prices decode epochs with the legacy per-step loop instead of the
+    vectorized epoch fast path (bit-identical traces, much slower — see
+    docs/serving.md, "Epoch pricing fast path").
     """
     result = ExperimentResult(
         "serving_rate_sweep",
@@ -159,8 +163,9 @@ def serving_rate_sweep(model: str = "opt-6.7b",
             schedule_policy=policy, rates=rates, num_requests=num_requests,
             pattern=pattern, input_len=input_len, output_len=output_len,
             seed=seed, ttft_slo_s=ttft_slo_s, tpot_slo_s=tpot_slo_s,
-            exact_schedules=exact_schedules, cluster=cluster,
-            routing=routing, pp_microbatches=pp_microbatches,
+            exact_schedules=exact_schedules, exact_stepping=exact_stepping,
+            cluster=cluster, routing=routing,
+            pp_microbatches=pp_microbatches,
             require_equal_gpus=require_equal_gpus)
     engines: dict[tuple[str, str], ContinuousBatchingEngine] = {}
     specs: dict[str, ParallelismSpec] = {}
@@ -170,7 +175,7 @@ def serving_rate_sweep(model: str = "opt-6.7b",
         hardware = multi_gpu(base_hardware, spec.degree, link)
         for system_name, build in SERVING_SYSTEMS.items():
             simulator = _build_simulator(system_name, build, model, hardware,
-                                         spec, policy)
+                                         spec, policy, exact_stepping)
             engines[(spec.label, system_name)] = \
                 ContinuousBatchingEngine(simulator)
     for rate in rates:
@@ -211,6 +216,7 @@ def serving_rate_sweep(model: str = "opt-6.7b",
     result.notes["ttft_slo_s"] = ttft_slo_s
     result.notes["tpot_slo_s"] = tpot_slo_s
     result.notes["exact_schedules"] = exact_schedules
+    result.notes["exact_stepping"] = exact_stepping
     result.notes["parallelism"] = tuple(specs)
     result.notes["interconnect"] = link.name
     result.notes["lengths"] = (
@@ -221,25 +227,28 @@ def serving_rate_sweep(model: str = "opt-6.7b",
 
 
 def _build_simulator(system_name, build, model, node, parallelism,
-                     schedule_policy):
+                     schedule_policy, exact_stepping=False):
     """One serving simulator for a sweep row.
 
     The single place both sweep axes construct systems, so ALISA's serving
-    configuration (``kv_sparsity=0.8`` plus the sweep's schedule policy)
-    can never diverge between the single-node and cluster paths.
+    configuration (``kv_sparsity=0.8`` plus the sweep's schedule policy
+    and stepping mode) can never diverge between the single-node and
+    cluster paths.
     """
     if system_name == "alisa":
         return AlisaSystem(model, node, kv_sparsity=0.8,
                            schedule_policy=schedule_policy,
-                           parallelism=parallelism)
-    return build(model, node, parallelism=parallelism)
+                           parallelism=parallelism,
+                           exact_stepping=exact_stepping)
+    return build(model, node, parallelism=parallelism,
+                 exact_stepping=exact_stepping)
 
 
 def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
                         link, schedule_policy, rates, num_requests, pattern,
                         input_len, output_len, seed, ttft_slo_s, tpot_slo_s,
-                        exact_schedules, cluster, routing, pp_microbatches,
-                        require_equal_gpus) -> ExperimentResult:
+                        exact_schedules, exact_stepping, cluster, routing,
+                        pp_microbatches, require_equal_gpus) -> ExperimentResult:
     """Cluster-axis body of :func:`serving_rate_sweep`.
 
     One :class:`ReplicaGroup` per (cluster entry, system), reused across
@@ -264,7 +273,8 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
     def factory_for(system_name, build):
         def factory(node, parallelism):
             return _build_simulator(system_name, build, model, node,
-                                    parallelism, schedule_policy)
+                                    parallelism, schedule_policy,
+                                    exact_stepping)
         return factory
 
     groups: dict[tuple[str, str], ReplicaGroup] = {}
@@ -313,6 +323,7 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
     result.notes["ttft_slo_s"] = ttft_slo_s
     result.notes["tpot_slo_s"] = tpot_slo_s
     result.notes["exact_schedules"] = exact_schedules
+    result.notes["exact_stepping"] = exact_stepping
     result.notes["cluster"] = tuple(layouts)
     result.notes["routing"] = policies
     result.notes["interconnect"] = link.name

@@ -38,14 +38,29 @@ exactly the single-GPU budget check, so 1-GPU serving traces are
 bit-identical to the pre-sharding engine (regression-pinned in
 ``tests/test_serving_sharded.py``).
 
+Epoch pricing fast path
+-----------------------
+Decode epochs are priced **vectorized**: one
+:meth:`~repro.systems.simulator.InferenceSimulator.epoch_timings` call
+prices all steps of a fixed-composition epoch as NumPy arrays, the epoch
+boundary (first completion or first admissible arrival) falls out of a
+cumulative sum plus ``searchsorted``, and priced epochs are memoized by
+``(batch, context, steps, shard shape)`` so repeated epoch shapes —
+fixed-length traces, rate sweeps, replica groups sharing a workload mix —
+skip planning and pricing entirely.  This is behaviour-preserving: traces
+are bit-identical to the per-step loop, which remains available by
+constructing the simulator with ``exact_stepping=True`` (mirroring
+``SchedulePolicy(exact=True)``) and is pinned against the fast path in
+``tests/test_epoch_pricing.py``.
+
 Modelling choices (all deliberate simplifications at the same granularity as
 the paper's own cost model):
 
 * **iteration-granular pricing** — each decode iteration is priced by the
-  wrapped simulator's :meth:`plan_decode_step`/:meth:`step_timing` on an
-  epoch workload ``(b, s, n)`` with ``b`` the running batch, ``s`` the
-  longest resident context, and ``n`` the steps until the next completion;
-  the simulator is re-``prepare``-d whenever batch composition changes.
+  wrapped simulator's per-step formula on an epoch workload ``(b, s, n)``
+  with ``b`` the running batch, ``s`` the longest resident context, and
+  ``n`` the steps until the next completion; the simulator is
+  re-``prepare``-d whenever an epoch shape is priced for the first time.
   For ALISA this re-prepare is served *incrementally* through its
   :class:`~repro.core.schedule_cache.ScheduleCache` — repeated epoch shapes
   reuse their offline schedule, nearby shapes share canonical solutions,
@@ -69,12 +84,24 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro._common import ConfigurationError, validate_positive
 from repro.serving.trace import RequestRecord, ServingTrace
 from repro.systems.memory import MemoryHierarchy
-from repro.systems.simulator import InferenceSimulator
+from repro.systems.simulator import EpochTimings, InferenceSimulator
 from repro.workloads.arrivals import Request
 from repro.workloads.descriptors import Workload
+
+
+def _accumulate(start: float, values: np.ndarray) -> np.ndarray:
+    """Running totals of ``start + values[0] + ... `` (sequential adds).
+
+    ``np.cumsum`` accumulates left to right, so seeding it with ``start``
+    reproduces the exact float additions of ``clock += value`` loops —
+    which keeps the fast path bit-identical to step-wise accounting.
+    """
+    return np.cumsum(np.concatenate(((start,), values)))[1:]
 
 
 @dataclass
@@ -138,6 +165,32 @@ class ContinuousBatchingEngine:
                     "cannot adopt a schedule cache"
                 )
             simulator.schedule_cache = schedule_cache
+        # Pricing caches, engine state so they survive across serve() calls
+        # (a rate sweep reuses one engine per configuration).  Prefill plans
+        # are deterministic per workload shape; priced epochs are
+        # deterministic per (b, s, n, shard shape).  ReplicaGroup shares
+        # both across replicas whose simulators price identically — see
+        # adopt_pricing_caches.
+        self._prefill_plans: dict[tuple[int, int, int], object] = {}
+        self._epoch_cache: dict[tuple, EpochTimings] = {}
+        self._epoch_hits = 0
+        self._epoch_misses = 0
+
+    def adopt_pricing_caches(self, other: "ContinuousBatchingEngine",
+                             share_epochs: bool = True) -> None:
+        """Share prefill-plan (and optionally priced-epoch) caches.
+
+        Only valid when both engines' simulators have equal
+        :meth:`~repro.systems.simulator.InferenceSimulator.pricing_signature`
+        and the engines use the same admission knobs — the caller
+        (:class:`~repro.cluster.group.ReplicaGroup`) checks this, and
+        passes ``share_epochs=False`` for simulators whose priced epochs
+        are not pure functions of the shape
+        (:meth:`~repro.systems.simulator.InferenceSimulator.pricing_is_shape_pure`).
+        """
+        self._prefill_plans = other._prefill_plans
+        if share_epochs:
+            self._epoch_cache = other._epoch_cache
 
     # ------------------------------------------------------------------ #
     # admission control
@@ -227,7 +280,8 @@ class ContinuousBatchingEngine:
         pending = deque(sorted(requests,
                                key=lambda r: (r.arrival_time, r.request_id)))
         running: list[_RunningRequest] = []
-        prefill_plans: dict[tuple[int, int, int], object] = {}
+        epoch_hits_before = self._epoch_hits
+        epoch_misses_before = self._epoch_misses
         memory = MemoryHierarchy.from_hardware(self.simulator.hardware)
         clock = 0.0
         reserved = 0          # node-level KV tokens across all shards
@@ -258,8 +312,7 @@ class ContinuousBatchingEngine:
                 continue
 
             if admitted:
-                prefill, prefill_comm = self._prefill_time(admitted, memory,
-                                                           prefill_plans)
+                prefill, prefill_comm = self._prefill_time(admitted, memory)
                 clock += prefill
                 comm_time += prefill_comm
 
@@ -291,6 +344,13 @@ class ContinuousBatchingEngine:
             comm_time_s=comm_time,
             comm_time_share=comm_time / clock if clock > 0 else 0.0,
         )
+        if not self.simulator.exact_stepping:
+            # How many decode epochs were priced fresh vs served from the
+            # epoch-price memo (cumulative counters, per-serve deltas).
+            trace.metadata["epoch_cache"] = {
+                "hits": self._epoch_hits - epoch_hits_before,
+                "misses": self._epoch_misses - epoch_misses_before,
+            }
         solver_after = self.simulator.schedule_stats()
         if solver_after:
             # Per-serve increments: how the per-epoch re-prepares were served
@@ -303,16 +363,16 @@ class ContinuousBatchingEngine:
 
     # ------------------------------------------------------------------ #
     def _prefill_time(self, admitted: list[Request],
-                      memory: MemoryHierarchy,
-                      plan_cache: dict) -> tuple[float, float]:
+                      memory: MemoryHierarchy) -> tuple[float, float]:
         """Batched prefill of the newly admitted requests.
 
         Returns ``(wall_clock_time, communication_time)`` — the latter is
         the interconnect share of the prefill pass (0 on a single GPU).
         Prefill plans are deterministic per workload shape, so they are
-        cached across admission events: repeated shapes (every admission in
-        a fixed-length trace) skip the simulator's ``prepare`` — for ALISA
-        a full offline schedule search — and only re-price the plan.
+        cached on the engine across admission events *and* serve() calls:
+        repeated shapes (every admission in a fixed-length trace, every
+        rate of a sweep) skip the simulator's ``prepare`` — for ALISA a
+        full offline schedule search — and only re-price the plan.
         """
         workload = Workload(
             batch_size=len(admitted),
@@ -321,11 +381,11 @@ class ContinuousBatchingEngine:
             name="serving-prefill",
         )
         key = (workload.batch_size, workload.input_len, workload.output_len)
-        plan = plan_cache.get(key)
+        plan = self._prefill_plans.get(key)
         if plan is None:
             self.simulator.prepare(workload)
             plan = self.simulator.plan_prefill(workload)
-            plan_cache[key] = plan
+            self._prefill_plans[key] = plan
         time = self.simulator.prefill_timing(plan, workload, memory)
         comm = self.simulator.parallel_comm_time(workload,
                                                  query_len=workload.input_len)
@@ -338,6 +398,10 @@ class ContinuousBatchingEngine:
         """Decode with fixed batch composition until a completion or an
         admissible arrival ends the epoch.
 
+        The epoch is priced through the vectorized fast path (memoized per
+        epoch shape) unless the simulator was built with
+        ``exact_stepping=True``, which restores the per-step Python loop;
+        both are bit-identical (pinned in ``tests/test_epoch_pricing.py``).
         Returns ``(clock, steps, communication_time)``.
         """
         workload = Workload(
@@ -346,43 +410,127 @@ class ContinuousBatchingEngine:
             output_len=min(r.remaining for r in running),
             name="serving-decode",
         )
+        if self.simulator.exact_stepping:
+            clock, steps, first_clock, comm_per_step = \
+                self._price_epoch_stepwise(workload, running, pending,
+                                           shard_reserved, shard_limit,
+                                           clock, memory)
+        else:
+            clock, steps, first_clock, comm_per_step = \
+                self._price_epoch_fast(workload, running, pending,
+                                       shard_reserved, shard_limit,
+                                       clock, memory)
+        self._finish_epoch(running, trace, steps, first_clock, clock)
+        return clock, steps, steps * comm_per_step
+
+    def _price_epoch_fast(self, workload: Workload,
+                          running: list[_RunningRequest], pending: deque,
+                          shard_reserved: int, shard_limit: int,
+                          clock: float, memory: MemoryHierarchy,
+                          ) -> tuple[float, int, float, float]:
+        """Vectorized epoch pricing with per-shape memoization.
+
+        One ``epoch_timings`` call prices all ``output_len`` steps as
+        arrays; the epoch boundary falls out of a cumulative sum over the
+        timing vector plus a ``searchsorted`` against the queue head's
+        arrival time — no per-step Python loop.  Priced epochs are keyed by
+        ``(batch, context, steps, shard shape)``, so repeated epoch shapes
+        (the common case in fixed-length traces and rate sweeps) skip
+        planning *and* pricing — including the simulator's per-epoch
+        ``prepare``, which for ALISA is the offline schedule search.
+        """
+        key = (workload.batch_size, workload.input_len, workload.output_len,
+               self.simulator.parallelism.label)
+        timings = self._epoch_cache.get(key)
+        if timings is None:
+            self._epoch_misses += 1
+            self.simulator.prepare(workload)
+            # Re-place the already-resident context; its prefill was charged
+            # when each request was admitted, so only placement state is
+            # initialized.
+            self.simulator.plan_prefill(workload)
+            timings = self.simulator.epoch_timings(workload, memory.link)
+            self._epoch_cache[key] = timings
+        else:
+            self._epoch_hits += 1
+        comm_per_step = float(timings.comm_times[0])
+
+        num_steps = workload.output_len
+        clocks = _accumulate(clock, timings.total_times)
+        steps = num_steps
+        if pending and self._fits(pending[0], running, shard_reserved,
+                                  shard_limit):
+            # First step whose post-step clock reaches the queue head's
+            # arrival; the final step always completes requests first, so
+            # only earlier steps can end the epoch by admission.
+            cut = int(np.searchsorted(clocks[:num_steps - 1],
+                                      pending[0].arrival_time, side="left"))
+            if cut < num_steps - 1:
+                steps = cut + 1
+        # Replay the steps' PCIe traffic onto the serve-level link ledger
+        # (sequential adds, identical to per-step recording).
+        link = memory.link
+        link.bytes_host_to_device = float(
+            _accumulate(link.bytes_host_to_device,
+                        timings.h2d_bytes[:steps])[-1])
+        link.bytes_device_to_host = float(
+            _accumulate(link.bytes_device_to_host,
+                        timings.d2h_bytes[:steps])[-1])
+        return (float(clocks[steps - 1]), steps, float(clocks[0]),
+                comm_per_step)
+
+    def _price_epoch_stepwise(self, workload: Workload,
+                              running: list[_RunningRequest], pending: deque,
+                              shard_reserved: int, shard_limit: int,
+                              clock: float, memory: MemoryHierarchy,
+                              ) -> tuple[float, int, float, float]:
+        """Legacy per-step pricing loop (``exact_stepping=True``)."""
         self.simulator.prepare(workload)
-        # Re-place the already-resident context; its prefill was charged when
-        # each request was admitted, so only placement state is initialized.
         self.simulator.plan_prefill(workload)
         comm_per_step = self.simulator.parallel_comm_time(workload)
-
         steps = 0
+        first_clock = None
         for step in range(workload.output_len):
             plan = self.simulator.plan_decode_step(step, workload)
             timing = self.simulator.step_timing(plan, step, workload, memory)
             clock += timing.total_time
             steps += 1
-
-            finished: list[_RunningRequest] = []
-            for request in running:
-                request.generated += 1
-                if request.first_token_time is None:
-                    request.first_token_time = clock
-                if request.remaining <= 0:
-                    finished.append(request)
-            for done in finished:
-                running.remove(done)
-                trace.add_record(RequestRecord(
-                    request_id=done.request.request_id,
-                    arrival_time=done.request.arrival_time,
-                    admission_time=done.admission_time,
-                    first_token_time=done.first_token_time,
-                    completion_time=clock,
-                    input_len=done.request.input_len,
-                    output_len=done.request.output_len,
-                ))
-            if finished:
-                # The epoch ends here; serve() recomputes the reservation
-                # totals from the surviving batch before the next admission.
-                break
+            if first_clock is None:
+                first_clock = clock
+            if steps == workload.output_len:
+                break  # the final step completes requests; epoch over
             if (pending and pending[0].arrival_time <= clock
                     and self._fits(pending[0], running, shard_reserved,
                                    shard_limit)):
                 break
-        return clock, steps, steps * comm_per_step
+        return clock, steps, first_clock, comm_per_step
+
+    def _finish_epoch(self, running: list[_RunningRequest],
+                      trace: ServingTrace, steps: int, first_clock: float,
+                      end_clock: float) -> None:
+        """Apply an epoch's effects to the batch and record completions.
+
+        All running requests decrement uniformly, so the finishers are
+        exactly the requests whose remaining output equalled the steps
+        taken, and first tokens land at the epoch's first cumulative clock
+        — no per-step scan of the batch is needed.
+        """
+        for request in running:
+            request.generated += steps
+            if request.first_token_time is None:
+                request.first_token_time = first_clock
+        finished = [r for r in running if r.remaining <= 0]
+        for done in finished:
+            trace.add_record(RequestRecord(
+                request_id=done.request.request_id,
+                arrival_time=done.request.arrival_time,
+                admission_time=done.admission_time,
+                first_token_time=done.first_token_time,
+                completion_time=end_clock,
+                input_len=done.request.input_len,
+                output_len=done.request.output_len,
+            ))
+        if finished:
+            # The epoch ends here; serve() recomputes the reservation
+            # totals from the surviving batch before the next admission.
+            running[:] = [r for r in running if r.remaining > 0]

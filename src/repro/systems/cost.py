@@ -419,6 +419,108 @@ class LLMCostModel:
             batch_size, kv_len, kept_kv, local_window, query_len
         ).total_time
 
+    # ------------------------------------------------------------------ #
+    # vectorized (epoch-granular) pricing
+    #
+    # Each *_batch method applies the scalar method's formula elementwise
+    # over per-step arrays, preserving the exact operation order (and the
+    # roofline floor times), so a priced epoch is bit-identical to pricing
+    # its steps one by one.  The bit-identity is pinned by the property
+    # tests in tests/test_epoch_pricing.py.
+    # ------------------------------------------------------------------ #
+    def _roofline_time_batch(self, flops: np.ndarray, bytes_moved: np.ndarray,
+                             min_time: float = 2e-6) -> np.ndarray:
+        compute_time = flops / self.hardware.gpu.effective_flops
+        memory_time = bytes_moved / self.hardware.gpu.hbm_bandwidth
+        return np.maximum(np.maximum(compute_time, memory_time), min_time)
+
+    def attention_time_batch(self, batch_size: int, kv_lens: np.ndarray,
+                             kept_kv: np.ndarray | None = None,
+                             local_windows: np.ndarray | None = None) -> np.ndarray:
+        """Vectorized :meth:`attention_time` over per-step arrays (q = 1).
+
+        ``kept_kv is None`` means dense attention at every step;
+        ``local_windows is None`` means no SWA operators at any step (a
+        per-step window of 0 also skips them, matching the scalar path).
+        """
+        kv_len = np.asarray(kv_lens, dtype=np.float64)
+        kept = (kv_len if kept_kv is None
+                else np.minimum(np.asarray(kept_kv, dtype=np.float64), kv_len))
+        h = self.config.hidden_size
+        heads = self.config.num_heads
+        width = self.bytes_per_element
+        b, q = batch_size, 1
+
+        qkv = self._roofline_time_batch(
+            np.float64(2.0 * 3.0 * b * q * h * h),
+            np.float64(3.0 * h * h * width + 4.0 * b * q * h * width),
+        )
+        qk = self._roofline_time_batch(
+            2.0 * b * q * kept * h,
+            (b * kept * h + b * q * h + b * heads * q * kept) * width,
+        )
+        soft = self._roofline_time_batch(
+            5.0 * b * heads * q * kept,
+            2.0 * b * heads * q * kept * width,
+        )
+        av = self._roofline_time_batch(
+            2.0 * b * q * kept * h,
+            (b * kept * h + b * q * h) * width,
+        )
+        out = self._roofline_time_batch(
+            np.float64(2.0 * b * q * h * h),
+            np.float64((h * h + 2.0 * b * q * h) * width),
+        )
+        dense_total = qkv + qk + soft + av + out
+        if local_windows is None:
+            return dense_total
+
+        window = np.asarray(local_windows, dtype=np.float64)
+        local = self._roofline_time_batch(
+            1.0 * b * heads * window * kv_len,
+            b * heads * window * kv_len * width,
+            min_time=10e-6,
+        )
+        gather = self._roofline_time_batch(
+            np.zeros_like(kv_len),
+            2.0 * 2.0 * b * kept * h * width,
+            min_time=10e-6,
+        )
+        swa_total = qkv + local + gather + qk + soft + av + out
+        return np.where(window > 0, swa_total, dense_total)
+
+    def decode_step_time_batch(self, batch_size: int, kv_lens: np.ndarray,
+                               kept_kv: np.ndarray | None = None,
+                               local_windows: np.ndarray | None = None) -> np.ndarray:
+        """Vectorized :meth:`decode_step_time` over per-step arrays."""
+        attention = self.attention_time_batch(batch_size, kv_lens, kept_kv,
+                                              local_windows)
+        base = self.config.num_layers * (attention + self.ffn_time(batch_size))
+        return self._parallel_forward_time(base, batch_size, query_len=1)
+
+    def quantize_time_batch(self, batch_size: int,
+                            num_tokens: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`quantize_time` over an array of token counts."""
+        tokens = np.asarray(num_tokens, dtype=np.float64)
+        elements = 2.0 * batch_size * tokens * self.config.hidden_size \
+            * self.config.num_layers
+        time = self._shard_scale() * self._roofline_time_batch(
+            2.0 * elements, 3.0 * elements)
+        return np.where(tokens > 0, time, 0.0)
+
+    def cpu_attention_time_batch(self, batch_size: int,
+                                 cpu_tokens: np.ndarray,
+                                 kv_dtype: str | None = None,
+                                 efficiency: float = 0.5) -> np.ndarray:
+        """Vectorized :meth:`cpu_attention_time` over an array of tokens."""
+        tokens = np.asarray(cpu_tokens, dtype=np.float64)
+        kv_bytes = self.kv_bytes_per_token(batch_size, kv_dtype) * tokens
+        flop_time = (4.0 * batch_size * tokens * self.config.hidden_size
+                     * self.config.num_layers) / self.hardware.cpu.flops
+        bandwidth = self.hardware.cpu.dram_bandwidth * efficiency
+        time = np.maximum(kv_bytes / bandwidth, flop_time)
+        return np.where(tokens > 0, time, 0.0)
+
     def ffn_time(self, batch_size: int, query_len: int = 1) -> float:
         h = self.config.hidden_size
         f = self.config.ffn_size

@@ -25,11 +25,13 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, replace
 
-from repro._common import OutOfMemoryError
+import numpy as np
+
+from repro._common import ConfigurationError, OutOfMemoryError
 from repro.hardware.presets import HardwareSpec
 from repro.model.config import ModelConfig, get_config
 from repro.systems.cost import LLMCostModel, ParallelismSpec
-from repro.systems.memory import MemoryHierarchy
+from repro.systems.memory import MemoryHierarchy, PCIeLink
 from repro.systems.trace import InferenceTrace, StepTiming
 from repro.workloads.descriptors import Workload
 
@@ -57,6 +59,104 @@ class SystemStepPlan:
     extra_overhead_s: float = 0.0
 
 
+@dataclass(frozen=True)
+class EpochPlan:
+    """Vectorized decode-step plans for one fixed-composition epoch.
+
+    The array-of-structs counterpart of a list of
+    :class:`SystemStepPlan` records: one entry per decode step, with the
+    same field semantics.  ``None`` fields mean "all zeros" (for token
+    movement) or "dense attention at every step" (``kept_kv``), so simple
+    systems do not have to materialize zero arrays.
+    """
+
+    phases: tuple[str, ...]
+    kv_gpu_tokens: np.ndarray
+    kv_cpu_tokens: np.ndarray
+    kept_kv: np.ndarray | None = None
+    local_windows: np.ndarray | None = None
+    load_kv_tokens: np.ndarray | None = None
+    offload_kv_tokens: np.ndarray | None = None
+    recompute_tokens: np.ndarray | None = None
+    quantize_tokens: np.ndarray | None = None
+    cpu_attention_tokens: np.ndarray | None = None
+    extra_h2d_bytes: np.ndarray | None = None
+    extra_overhead_s: np.ndarray | None = None
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.phases)
+
+    @classmethod
+    def from_step_plans(cls, plans: list[SystemStepPlan],
+                        workload: Workload) -> "EpochPlan":
+        """Pack per-step :class:`SystemStepPlan` records into arrays.
+
+        This is the generic-fallback packer used for simulators that only
+        implement :meth:`InferenceSimulator.plan_decode_step`.  A per-step
+        ``kept_kv`` of ``None`` (dense attention) is replaced by the step's
+        sequence length, which prices identically (the cost model clamps
+        ``kept_kv`` to the sequence length).
+        """
+        seq_lens = [workload.input_len + step + 1
+                    for step in range(len(plans))]
+        return cls(
+            phases=tuple(plan.phase for plan in plans),
+            kv_gpu_tokens=np.array([p.kv_gpu_tokens for p in plans]),
+            kv_cpu_tokens=np.array([p.kv_cpu_tokens for p in plans]),
+            kept_kv=np.array([
+                seq if plan.kept_kv is None else plan.kept_kv
+                for seq, plan in zip(seq_lens, plans)]),
+            local_windows=np.array([p.local_window for p in plans]),
+            load_kv_tokens=np.array([p.load_kv_tokens for p in plans]),
+            offload_kv_tokens=np.array([p.offload_kv_tokens for p in plans]),
+            recompute_tokens=np.array([p.recompute_tokens for p in plans]),
+            quantize_tokens=np.array([p.quantize_tokens for p in plans]),
+            cpu_attention_tokens=np.array([p.cpu_attention_tokens
+                                           for p in plans]),
+            extra_h2d_bytes=np.array([p.extra_h2d_bytes for p in plans]),
+            extra_overhead_s=np.array([p.extra_overhead_s for p in plans]),
+        )
+
+
+@dataclass(frozen=True)
+class EpochTimings:
+    """Vectorized pricing of every decode step of one epoch.
+
+    Produced by :meth:`InferenceSimulator.epoch_timings`; one array entry
+    per step, field-for-field identical to the :class:`StepTiming` records
+    the step loop would produce (``gpu_used_bytes``/``cpu_used_bytes`` are
+    filled in by :meth:`InferenceSimulator.run` after applying memory).
+    ``h2d_bytes``/``d2h_bytes`` are the per-step PCIe link traffic
+    (reloads plus any extra host-to-device bytes, and offloads) that the
+    step loop would have recorded on ``memory.link``.
+    """
+
+    sequence_lengths: np.ndarray
+    phases: tuple[str, ...]
+    compute_times: np.ndarray
+    transfer_times: np.ndarray
+    recompute_times: np.ndarray
+    overhead_times: np.ndarray
+    total_times: np.ndarray
+    comm_times: np.ndarray
+    gpu_kv_bytes: np.ndarray
+    cpu_kv_bytes: np.ndarray
+    bytes_offloaded: np.ndarray
+    bytes_reloaded: np.ndarray
+    h2d_bytes: np.ndarray
+    d2h_bytes: np.ndarray
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.phases)
+
+    @property
+    def pcie_bytes(self) -> float:
+        """Total PCIe traffic of the full epoch (reporting helper)."""
+        return float(np.sum(self.h2d_bytes) + np.sum(self.d2h_bytes))
+
+
 class InferenceSimulator(ABC):
     """Base class: runs the prefill + decode loop over step plans."""
 
@@ -72,9 +172,14 @@ class InferenceSimulator(ABC):
     def __init__(self, model: ModelConfig | str, hardware: HardwareSpec,
                  compute_dtype: str = "fp16", kv_dtype: str = "fp16",
                  weights_on_gpu: bool = True,
-                 parallelism: ParallelismSpec | None = None) -> None:
+                 parallelism: ParallelismSpec | None = None,
+                 exact_stepping: bool = False) -> None:
         self.config = get_config(model) if isinstance(model, str) else model
         self.hardware = hardware
+        #: Escape hatch mirroring ``SchedulePolicy(exact=True)``: price
+        #: decode epochs with the legacy per-step Python loop instead of
+        #: the vectorized fast path (bit-identical results, much slower).
+        self.exact_stepping = exact_stepping
         if parallelism is None:
             # Multi-GPU nodes default to tensor parallelism across all GPUs;
             # the cost model validates degree == gpu_count either way.
@@ -116,6 +221,58 @@ class InferenceSimulator(ABC):
         metadata for observability.
         """
         return {}
+
+    def plan_decode_epoch(self, workload: Workload) -> EpochPlan:
+        """Plan every decode step of ``workload`` in one call.
+
+        Concrete systems override this with an array-wise implementation of
+        their per-step formula; this generic fallback loops
+        :meth:`plan_decode_step` so third-party simulators keep working
+        unchanged (they still get vectorized *pricing* via
+        :meth:`epoch_timings`, just not vectorized planning).
+        """
+        plans = [self.plan_decode_step(step, workload)
+                 for step in range(workload.output_len)]
+        return EpochPlan.from_step_plans(plans, workload)
+
+    def pricing_is_shape_pure(self) -> bool:
+        """Whether a priced epoch is a pure function of the workload shape.
+
+        True for every stateless placement policy.  Systems whose per-shape
+        plan depends on solver *history* (ALISA's warm-started/canonical
+        schedule search seeds from previously solved shapes) return False,
+        and the cluster layer then keeps their priced-epoch caches per
+        replica: sharing one across replicas with independent solver
+        caches could silently change which schedule prices a shape.
+        """
+        return True
+
+    def pricing_signature(self) -> tuple:
+        """Hashable identity of this simulator's pricing function.
+
+        Two simulators with equal signatures price identical workload
+        shapes identically (given equal solver history — see
+        :meth:`pricing_is_shape_pure`), so serving-layer caches (prefill
+        plans, priced epochs) may be shared between their engines —
+        :class:`~repro.cluster.group.ReplicaGroup` does exactly that for
+        replicas built from one factory.  Subclasses with extra pricing
+        knobs must extend the tuple (see ``AlisaSystem``).
+        """
+        hw = self.hardware
+        link = hw.interconnect
+        return (
+            type(self).__qualname__, self.config.name, hw.name,
+            hw.gpu.name, hw.gpu.memory_bytes, hw.gpu.fp16_flops,
+            hw.gpu.hbm_bandwidth, hw.gpu.compute_efficiency,
+            hw.cpu.name, hw.cpu.memory_bytes, hw.cpu.flops,
+            hw.cpu.dram_bandwidth, hw.pcie_bandwidth, hw.gpu_count,
+            None if link is None else (link.name, link.bandwidth,
+                                       link.latency_s),
+            self.cost_model.dtype, self.kv_dtype, self.weights_on_gpu,
+            self.parallelism.mode, self.parallelism.degree,
+            self.parallelism.pp_microbatches, self.overlap_io,
+            self.exact_stepping,
+        )
 
     # ------------------------------------------------------------------ #
     # shared machinery
@@ -202,8 +359,82 @@ class InferenceSimulator(ABC):
             bytes_reloaded=plan.load_kv_tokens * per_token,
         )
 
+    def epoch_timings(self, workload: Workload,
+                      link: PCIeLink | None = None) -> EpochTimings:
+        """Price all ``output_len`` decode steps of ``workload`` at once.
+
+        The vectorized counterpart of calling :meth:`plan_decode_step` +
+        :meth:`step_timing` once per step: every per-step formula is
+        applied array-wise in the same operation order, so the resulting
+        arrays are bit-identical to the step loop's values (pinned by
+        ``tests/test_epoch_pricing.py``).  Pure pricing — no memory is
+        allocated and no traffic is recorded; ``link`` only supplies the
+        PCIe latency/bandwidth (defaults to the node's own link).
+        """
+        plan = self.plan_decode_epoch(workload)
+        num_steps = plan.num_steps
+        if link is None:
+            link = PCIeLink(self.hardware.node_pcie_bandwidth)
+
+        def filled(values: np.ndarray | None) -> np.ndarray:
+            return np.zeros(num_steps) if values is None else values
+
+        seq_lens = workload.input_len + np.arange(num_steps) + 1
+        per_token = self.kv_token_bytes(workload)
+        load = filled(plan.load_kv_tokens)
+        offload = filled(plan.offload_kv_tokens)
+        h2d_bytes = load * per_token + filled(plan.extra_h2d_bytes)
+        d2h_bytes = offload * per_token
+        if np.any(h2d_bytes < 0) or np.any(d2h_bytes < 0):
+            raise ConfigurationError("transfer size must be non-negative")
+
+        compute = self.cost_model.decode_step_time_batch(
+            workload.batch_size, seq_lens, plan.kept_kv, plan.local_windows)
+        transfer = (
+            np.where(h2d_bytes > 0,
+                     link.latency_s + h2d_bytes / link.bandwidth_bytes_per_s,
+                     0.0)
+            + np.where(d2h_bytes > 0,
+                       link.latency_s + d2h_bytes / link.bandwidth_bytes_per_s,
+                       0.0)
+        )
+        recompute = self.cost_model.recompute_time_batch(
+            workload.batch_size, np.rint(filled(plan.recompute_tokens)))
+        if self.overlap_io:
+            transfer = np.maximum(0.0, transfer - compute - recompute)
+        transfer = transfer + self.cost_model.cpu_attention_time_batch(
+            workload.batch_size, filled(plan.cpu_attention_tokens),
+            self.kv_dtype)
+        quantized = filled(plan.quantize_tokens)
+        overhead = filled(plan.extra_overhead_s) + np.where(
+            quantized > 0,
+            self.cost_model.quantize_time_batch(workload.batch_size,
+                                                np.rint(quantized)),
+            0.0)
+        return EpochTimings(
+            sequence_lengths=seq_lens,
+            phases=plan.phases,
+            compute_times=compute,
+            transfer_times=transfer,
+            recompute_times=recompute,
+            overhead_times=overhead,
+            total_times=compute + transfer + recompute + overhead,
+            comm_times=np.full(num_steps, self.parallel_comm_time(workload)),
+            gpu_kv_bytes=plan.kv_gpu_tokens * per_token,
+            cpu_kv_bytes=plan.kv_cpu_tokens * per_token,
+            bytes_offloaded=offload * per_token,
+            bytes_reloaded=load * per_token,
+            h2d_bytes=h2d_bytes,
+            d2h_bytes=d2h_bytes,
+        )
+
     def run(self, workload: Workload) -> InferenceTrace:
-        """Simulate one end-to-end inference run of ``workload``."""
+        """Simulate one end-to-end inference run of ``workload``.
+
+        Decode steps are priced through the vectorized epoch fast path
+        (:meth:`epoch_timings`) unless ``exact_stepping=True`` restores the
+        legacy per-step loop; both produce bit-identical traces.
+        """
         memory = MemoryHierarchy.from_hardware(self.hardware)
         trace = InferenceTrace(
             system=self.name, model=self.config.name,
@@ -220,19 +451,50 @@ class InferenceSimulator(ABC):
                                                      memory)
             self._apply_memory(prefill_plan, workload, memory)
 
-            for step in range(workload.output_len):
-                plan = self.plan_decode_step(step, workload)
-                timing = self.step_timing(plan, step, workload, memory)
-                self._apply_memory(plan, workload, memory)
-                trace.add_step(replace(
-                    timing,
-                    gpu_used_bytes=memory.gpu.used_bytes,
-                    cpu_used_bytes=memory.cpu.used_bytes,
-                ))
+            if self.exact_stepping:
+                for step in range(workload.output_len):
+                    plan = self.plan_decode_step(step, workload)
+                    timing = self.step_timing(plan, step, workload, memory)
+                    self._apply_memory(plan, workload, memory)
+                    trace.add_step(replace(
+                        timing,
+                        gpu_used_bytes=memory.gpu.used_bytes,
+                        cpu_used_bytes=memory.cpu.used_bytes,
+                    ))
+            else:
+                self._run_decode_fast(workload, memory, trace)
         except OutOfMemoryError as exc:
             trace.oom = True
             trace.oom_reason = str(exc)
         return trace
+
+    def _run_decode_fast(self, workload: Workload, memory: MemoryHierarchy,
+                         trace: InferenceTrace) -> None:
+        """Epoch-priced decode loop of :meth:`run`.
+
+        Pricing is vectorized; only the per-step memory-ledger updates
+        (which carry the OOM semantics and the ``*_used_bytes`` snapshots)
+        and the trace records remain per step.
+        """
+        epoch = self.epoch_timings(workload, memory.link)
+        for step in range(epoch.num_steps):
+            memory.gpu.resize(KV_GPU, float(epoch.gpu_kv_bytes[step]))
+            memory.cpu.resize(KV_CPU, float(epoch.cpu_kv_bytes[step]))
+            trace.add_step(StepTiming(
+                step=step,
+                sequence_length=int(epoch.sequence_lengths[step]),
+                phase=epoch.phases[step],
+                compute_time=float(epoch.compute_times[step]),
+                transfer_time=float(epoch.transfer_times[step]),
+                recompute_time=float(epoch.recompute_times[step]),
+                overhead_time=float(epoch.overhead_times[step]),
+                gpu_kv_bytes=float(epoch.gpu_kv_bytes[step]),
+                cpu_kv_bytes=float(epoch.cpu_kv_bytes[step]),
+                gpu_used_bytes=memory.gpu.used_bytes,
+                cpu_used_bytes=memory.cpu.used_bytes,
+                bytes_offloaded=float(epoch.bytes_offloaded[step]),
+                bytes_reloaded=float(epoch.bytes_reloaded[step]),
+            ))
 
     # ------------------------------------------------------------------ #
     def _allocate_static(self, workload: Workload,

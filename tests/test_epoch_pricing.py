@@ -1,0 +1,285 @@
+"""Bit-identity of the vectorized epoch pricing fast path.
+
+The fast path (``InferenceSimulator.epoch_timings`` +
+``ContinuousBatchingEngine._price_epoch_fast``) must be a pure
+re-expression of the per-step loop: same plans, same prices, same traces,
+bit for bit.  These tests pin that across systems, KV dtypes, shard
+shapes, and random workloads (hypothesis), and pin the serving/offline
+traces against the ``exact_stepping=True`` escape hatch.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    AccelerateSystem,
+    DeepSpeedZeroSystem,
+    FlexGenSystem,
+    GPUOnlySystem,
+    VLLMSystem,
+)
+from repro.core.engine import AlisaSystem
+from repro.core.scheduler import DynamicScheduler, SchedulerConfig
+from repro.core.swa import SWAConfig
+from repro.hardware.presets import V100_16GB_NODE, multi_gpu
+from repro.serving import ContinuousBatchingEngine
+from repro.systems.cost import ParallelismSpec
+from repro.systems.memory import MemoryHierarchy
+from repro.workloads.arrivals import generate_requests
+from repro.workloads.descriptors import Workload
+
+MODEL = "opt-6.7b"
+
+SYSTEM_BUILDERS = {
+    "gpu-only": lambda hw, **kw: GPUOnlySystem(MODEL, hw, **kw),
+    "accelerate": lambda hw, **kw: AccelerateSystem(MODEL, hw, **kw),
+    "deepspeed-zero": lambda hw, **kw: DeepSpeedZeroSystem(MODEL, hw, **kw),
+    "flexgen": lambda hw, **kw: FlexGenSystem(MODEL, hw, **kw),
+    "vllm": lambda hw, **kw: VLLMSystem(MODEL, hw, **kw),
+    "alisa": lambda hw, **kw: AlisaSystem(MODEL, hw, kv_sparsity=0.8, **kw),
+    "alisa-static": lambda hw, **kw: AlisaSystem(
+        MODEL, hw, kv_sparsity=0.8, use_dynamic_scheduling=False, **kw),
+}
+
+SHARD_SHAPES = {
+    "none": (1, None),
+    "tp-2": (2, ParallelismSpec("tp", 2)),
+    "pp-2": (2, ParallelismSpec("pp", 2)),
+}
+
+
+def build_system(system: str, shard: str = "none", **kwargs):
+    gpu_count, parallelism = SHARD_SHAPES[shard]
+    hardware = multi_gpu(V100_16GB_NODE, gpu_count)
+    if parallelism is not None:
+        kwargs["parallelism"] = parallelism
+    return SYSTEM_BUILDERS[system](hardware, **kwargs)
+
+
+def stepwise_reference(system, workload):
+    """Price the epoch with the per-step loop (the legacy hot path)."""
+    system.prepare(workload)
+    system.plan_prefill(workload)
+    memory = MemoryHierarchy.from_hardware(system.hardware)
+    timings = [
+        system.step_timing(system.plan_decode_step(step, workload), step,
+                           workload, memory)
+        for step in range(workload.output_len)
+    ]
+    return timings, memory.link
+
+
+class TestEpochTimingsMatchStepLoop:
+    """``epoch_timings`` is element-wise identical to the step loop."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        system=st.sampled_from(sorted(SYSTEM_BUILDERS)),
+        shard=st.sampled_from(sorted(SHARD_SHAPES)),
+        kv_dtype=st.sampled_from(["fp16", "int8"]),
+        batch_size=st.integers(min_value=1, max_value=8),
+        input_len=st.integers(min_value=1, max_value=192),
+        output_len=st.integers(min_value=1, max_value=96),
+    )
+    def test_property_random_workloads(self, system, shard, kv_dtype,
+                                       batch_size, input_len, output_len):
+        workload = Workload(batch_size, input_len, output_len, "prop")
+        simulator = build_system(system, shard, kv_dtype=kv_dtype)
+        reference, link = stepwise_reference(simulator, workload)
+        simulator = build_system(system, shard, kv_dtype=kv_dtype)
+        simulator.prepare(workload)
+        simulator.plan_prefill(workload)
+        epoch = simulator.epoch_timings(workload)
+
+        assert epoch.num_steps == len(reference)
+        assert epoch.phases == tuple(t.phase for t in reference)
+        for field, values in (
+                ("compute_time", epoch.compute_times),
+                ("transfer_time", epoch.transfer_times),
+                ("recompute_time", epoch.recompute_times),
+                ("overhead_time", epoch.overhead_times),
+                ("gpu_kv_bytes", epoch.gpu_kv_bytes),
+                ("cpu_kv_bytes", epoch.cpu_kv_bytes),
+                ("bytes_offloaded", epoch.bytes_offloaded),
+                ("bytes_reloaded", epoch.bytes_reloaded),
+                ("sequence_length", epoch.sequence_lengths),
+        ):
+            expected = np.array([getattr(t, field) for t in reference])
+            assert np.array_equal(values, expected), (system, field)
+        totals = np.array([t.total_time for t in reference])
+        assert np.array_equal(epoch.total_times, totals)
+        # The per-step PCIe traffic matches what the loop recorded.
+        assert float(np.sum(epoch.h2d_bytes)) == pytest.approx(
+            link.bytes_host_to_device)
+        assert float(np.sum(epoch.d2h_bytes)) == pytest.approx(
+            link.bytes_device_to_host)
+
+    def test_scheduler_plan_epoch_matches_plan_step(self):
+        # Direct pin of the vectorized Algorithm 2 (all three phases).
+        config = SchedulerConfig(offload_ratio=0.5, recompute_ratio=0.4,
+                                 phase2_step=20, phase3_step=60)
+        swa = SWAConfig.from_sparsity(0.8)
+        reference = DynamicScheduler(config, swa, gpu_budget_tokens=200,
+                                     prompt_len=128)
+        reference.plan_prefill()
+        plans = [reference.plan_step(j) for j in range(150)]
+
+        vectorized = DynamicScheduler(config, swa, gpu_budget_tokens=200,
+                                      prompt_len=128)
+        vectorized.plan_prefill()
+        epoch = vectorized.plan_epoch(150)
+        assert epoch.phases == tuple(p.phase for p in plans)
+        for field, values in (
+                ("tokens_gpu", epoch.tokens_gpu),
+                ("tokens_cpu", epoch.tokens_cpu),
+                ("tokens_deleted", epoch.tokens_deleted),
+                ("load_tokens", epoch.load_tokens),
+                ("offload_tokens", epoch.offload_tokens),
+                ("recompute_tokens", epoch.recompute_tokens),
+                ("kept_local", epoch.kept_local),
+                ("kept_global", epoch.kept_global),
+        ):
+            expected = np.array([getattr(p, field) for p in plans])
+            assert np.array_equal(values, expected), field
+
+    def test_split_budget_batch_matches_scalar(self):
+        swa = SWAConfig.from_sparsity(0.8)
+        seq = np.arange(1, 2000)
+        local, global_ = swa.split_budget_batch(seq)
+        for j in (0, 1, 5, 123, 998, 1998):
+            assert (local[j], global_[j]) == swa.split_budget(int(seq[j]))
+
+
+class TestServingFastPathGoldenPins:
+    """serve()/run() with the fast path are bit-identical to exact stepping."""
+
+    REQUESTS = dict(rate=16.0, input_len=256, output_len=128, seed=5)
+
+    @pytest.mark.parametrize("system,shard", [
+        ("alisa", "none"), ("flexgen", "none"), ("vllm", "none"),
+        ("alisa", "tp-2"), ("alisa", "pp-2"),
+    ])
+    def test_serve_traces_bit_identical(self, system, shard):
+        requests = generate_requests(12, **self.REQUESTS)
+        fast = ContinuousBatchingEngine(
+            build_system(system, shard)).serve(requests)
+        exact = ContinuousBatchingEngine(
+            build_system(system, shard, exact_stepping=True)).serve(requests)
+        assert fast.records == exact.records
+        assert fast.summary() == exact.summary()
+        for key in ("kv_budget_tokens", "peak_reserved_tokens", "num_epochs",
+                    "num_decode_steps", "pcie_bytes", "comm_time_s",
+                    "comm_time_share", "shards"):
+            assert fast.metadata[key] == exact.metadata[key], key
+
+    def test_serve_fast_path_is_default_and_memoizes(self):
+        requests = generate_requests(12, **self.REQUESTS)
+        engine = ContinuousBatchingEngine(build_system("alisa"))
+        first = engine.serve(requests)
+        assert first.metadata["epoch_cache"]["misses"] >= 1
+        # Identical trace again: every epoch shape is already priced.
+        second = engine.serve(requests)
+        assert second.metadata["epoch_cache"]["misses"] == 0
+        assert (second.metadata["epoch_cache"]["hits"]
+                == second.metadata["num_epochs"])
+        assert second.records == first.records
+        # The exact path reports no epoch cache (it never consults one).
+        exact = ContinuousBatchingEngine(
+            build_system("alisa", exact_stepping=True)).serve(requests)
+        assert "epoch_cache" not in exact.metadata
+
+    @pytest.mark.parametrize("system", ["alisa", "alisa-static", "flexgen",
+                                        "accelerate", "vllm"])
+    def test_offline_run_bit_identical(self, system):
+        workload = Workload(16, 256, 200, "offline")
+        fast = build_system(system).run(workload)
+        exact = build_system(system, exact_stepping=True).run(workload)
+        assert fast.prefill_time == exact.prefill_time
+        assert fast.steps == exact.steps
+        assert fast.summary() == exact.summary()
+
+    def test_cluster_serve_bit_identical_to_exact_stepping(self):
+        # The replica-group fast path (per-replica epoch memos, shared
+        # prefill plans) must reproduce the exact-stepping cluster trace
+        # bit for bit, including with ALISA's history-dependent default
+        # schedule policy.
+        from repro.cluster import ReplicaGroup
+
+        def factory(exact_stepping):
+            def build(node, parallelism):
+                return AlisaSystem(MODEL, node, kv_sparsity=0.8,
+                                   parallelism=parallelism,
+                                   exact_stepping=exact_stepping)
+            return build
+
+        requests = generate_requests(16, rate=32.0, pattern="bursty", seed=3)
+        fast = ReplicaGroup.from_layout(factory(False), "2x(none)",
+                                        V100_16GB_NODE, policy="jsq",
+                                        seed=3).serve(requests)
+        exact = ReplicaGroup.from_layout(factory(True), "2x(none)",
+                                         V100_16GB_NODE, policy="jsq",
+                                         seed=3).serve(requests)
+        assert fast.records == exact.records
+        assert fast.summary() == exact.summary()
+
+    def test_prefill_plan_cache_is_engine_state(self):
+        requests = generate_requests(8, **self.REQUESTS)
+        engine = ContinuousBatchingEngine(build_system("alisa"))
+        engine.serve(requests)
+        cached_shapes = set(engine._prefill_plans)
+        assert cached_shapes  # plans survived the serve() call
+        engine.serve(requests)
+        assert set(engine._prefill_plans) == cached_shapes
+
+    def test_replica_group_shares_pricing_caches(self):
+        from repro.cluster import ReplicaGroup
+        from repro.core.schedule_cache import SchedulePolicy
+
+        def factory(node, parallelism):
+            return AlisaSystem(MODEL, node, kv_sparsity=0.8,
+                               parallelism=parallelism)
+
+        group = ReplicaGroup.from_layout(factory, "2x(none)",
+                                         V100_16GB_NODE, policy="jsq")
+        first, second = group.engines
+        # Prefill plans are shape-pure for every system: always shared.
+        assert first._prefill_plans is second._prefill_plans
+        # ALISA's default warm-started schedules depend on replica-local
+        # solver history, so its priced epochs are NOT shared...
+        assert not first.simulator.pricing_is_shape_pure()
+        assert first._epoch_cache is not second._epoch_cache
+        # Schedule caches stay per replica (solver state is not shared).
+        assert (first.simulator.schedule_cache
+                is not second.simulator.schedule_cache)
+        requests = generate_requests(12, **self.REQUESTS)
+        trace = group.serve(requests)
+        assert trace.num_requests == 12
+
+        # ...but shape-pure pricing (exact schedules, stateless baselines)
+        # shares epochs cluster-wide.
+        def exact_factory(node, parallelism):
+            return AlisaSystem(MODEL, node, kv_sparsity=0.8,
+                               parallelism=parallelism,
+                               schedule_policy=SchedulePolicy(exact=True))
+
+        exact_group = ReplicaGroup.from_layout(exact_factory, "2x(none)",
+                                               V100_16GB_NODE)
+        assert exact_group.engines[0].simulator.pricing_is_shape_pure()
+        assert (exact_group.engines[0]._epoch_cache
+                is exact_group.engines[1]._epoch_cache)
+        flexgen_group = ReplicaGroup.from_layout(
+            lambda node, parallelism: FlexGenSystem(
+                MODEL, node, parallelism=parallelism),
+            "2x(none)", V100_16GB_NODE)
+        assert (flexgen_group.engines[0]._epoch_cache
+                is flexgen_group.engines[1]._epoch_cache)
+
+        # Mixed pricing signatures must not share anything.
+        tp_group = ReplicaGroup(
+            [ContinuousBatchingEngine(build_system("alisa")),
+             ContinuousBatchingEngine(build_system("alisa", "tp-2"))])
+        a, b = tp_group.engines
+        assert a._epoch_cache is not b._epoch_cache
+        assert a._prefill_plans is not b._prefill_plans

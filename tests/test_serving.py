@@ -249,8 +249,13 @@ class TestIncrementalScheduling:
         assert stats["full_solves"] >= 1
         searches = (stats["exact_hits"] + stats["canonical_hits"]
                     + stats["warm_solves"] + stats["full_solves"])
-        # One re-solve per decode epoch plus one per prefill shape.
-        assert searches >= trace.metadata["num_epochs"]
+        # Every decode epoch is either priced fresh (one schedule search,
+        # plus one per prefill shape) or served whole from the engine's
+        # epoch-price memo.
+        epoch_cache = trace.metadata["epoch_cache"]
+        assert searches + epoch_cache["hits"] >= trace.metadata["num_epochs"]
+        assert (epoch_cache["hits"] + epoch_cache["misses"]
+                == trace.metadata["num_epochs"])
         assert "scheduler" not in flexgen_engine().serve(
             generate_requests(4, **self.REQUESTS)).metadata
 

@@ -12,6 +12,14 @@ in both files (see ``benchmarks/test_bench_calibration.py``) and divides
 every mean by the machine's calibration mean, so the gate compares
 machine-normalized times.
 
+Improvements beyond ``--improvement-threshold`` (default: the allowed
+regression) are also reported: a benchmark running far *faster* than its
+committed baseline means the baseline is stale, and a stale (too-slow)
+baseline silently hands future regressions that much headroom before the
+gate fires.  Stale baselines are flagged with a refresh hint; they do not
+fail the gate (pass ``--fail-on-improvement`` to make them fail, e.g. in a
+scheduled freshness check).
+
 Usage::
 
     python tools/check_bench_regression.py \
@@ -53,7 +61,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--calibrate", default=None,
                         help="substring of a calibration benchmark used to "
                              "normalize for machine speed")
+    parser.add_argument("--improvement-threshold", type=float, default=None,
+                        help="relative speedup beyond which the committed "
+                             "baseline is flagged as stale (default: the "
+                             "value of --max-regression)")
+    parser.add_argument("--fail-on-improvement", action="store_true",
+                        help="exit non-zero when a stale (too-slow) "
+                             "baseline is detected instead of only "
+                             "flagging it")
     args = parser.parse_args(argv)
+    improvement_threshold = (args.max_regression
+                             if args.improvement_threshold is None
+                             else args.improvement_threshold)
 
     current = load_means(args.current)
     baseline = load_means(args.baseline)
@@ -66,6 +85,7 @@ def main(argv: list[str] | None = None) -> int:
               f"(>1 means this machine is faster than the baseline's)")
 
     failures = []
+    stale = []
     header = f"{'benchmark':<55s} {'baseline':>10s} {'current':>10s} {'ratio':>7s}"
     print(header)
     print("-" * len(header))
@@ -85,12 +105,27 @@ def main(argv: list[str] | None = None) -> int:
                 f"({(ratio - 1.0):+.1%} > +{args.max_regression:.0%})"
             )
             flag = "  REGRESSION"
+        elif ratio < 1.0 - improvement_threshold:
+            stale.append(
+                f"{name}: {normalized:.3f}s vs baseline {base_mean:.3f}s "
+                f"({(1.0 - ratio):.1%} faster than the baseline)"
+            )
+            flag = "  IMPROVEMENT (stale baseline?)"
         print(f"{name:<55s} {base_mean:>9.3f}s {normalized:>9.3f}s "
               f"{ratio:>6.2f}x{flag}")
 
     new_benchmarks = sorted(set(current) - set(baseline))
     if new_benchmarks:
         print(f"(not gated — new benchmarks: {', '.join(new_benchmarks)})")
+
+    if stale:
+        print("\nstale baselines detected (benchmarks now run more than "
+              f"{improvement_threshold:.0%} faster):")
+        for entry in stale:
+            print(f"  - {entry}")
+        print("A too-slow baseline masks future regressions by that much "
+              "headroom; regenerate it (see docs/benchmarks.md, "
+              "'Regenerating a baseline').")
 
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)
@@ -99,6 +134,10 @@ def main(argv: list[str] | None = None) -> int:
         print("If the slowdown is intended, regenerate the baseline (see "
               "README.md, 'Benchmarks and the CI perf gate').",
               file=sys.stderr)
+        return 1
+    if stale and args.fail_on_improvement:
+        print("\nperf gate FAILED: stale baselines (see above) with "
+              "--fail-on-improvement set.", file=sys.stderr)
         return 1
     print("\nperf regression gate passed "
           f"(allowed +{args.max_regression:.0%}).")
