@@ -10,13 +10,24 @@ replicas share the load.  A second sweep holds the cluster fixed and
 compares routing policies on a bursty ShareGPT-style trace, where
 join-shortest-queue sustains a higher arrival rate than blind round-robin.
 
+A final section serves a 50,000-request stream through the cluster in
+``record_mode="streaming"`` — the bounded-memory event-driven path that
+scales to the million-request benchmark row
+(`benchmarks/test_bench_serving.py::test_bench_serving_million`).
+
 Run with:  python examples/cluster_demo.py
 """
 
 from __future__ import annotations
 
+import time
+
+from repro.baselines import VLLMSystem
+from repro.cluster import ReplicaGroup
 from repro.experiments import run_experiment
 from repro.experiments.serving import max_sustained_rate
+from repro.hardware.presets import V100_16GB_NODE
+from repro.workloads.arrivals import RequestStream
 
 LAYOUTS = ("tp-4", "2x(tp-2)", "4x(tp-1)")
 LAYOUT_COLUMNS = ("p99_ttft_s", "mean_queueing_delay_s",
@@ -69,6 +80,32 @@ def main() -> None:
           "conversations pile onto one replica during bursts; JSQ watches "
           "outstanding KV tokens — the admission currency — and drains "
           "both replicas.)")
+
+    # ------------------------------------------------------------------ #
+    # streaming record mode: large traces in bounded memory
+    # ------------------------------------------------------------------ #
+    n_stream = 50_000
+    group = ReplicaGroup.from_layout(
+        lambda node, parallelism: VLLMSystem("opt-6.7b", node,
+                                             parallelism=parallelism),
+        "2x(none)", V100_16GB_NODE, policy="round-robin")
+    stream = RequestStream(n_stream, rate=16.0, pattern="poisson", seed=0,
+                           input_len=128, output_len=64)
+    start = time.perf_counter()
+    trace = group.serve(stream, record_mode="streaming")
+    elapsed = time.perf_counter() - start
+    summary = trace.summary()
+    print(f"\n# Streaming mode: {n_stream:,} requests through 2 vLLM "
+          "replicas, no per-request records retained")
+    print(f"served {summary['num_requests']:,} requests in {elapsed:.1f}s "
+          f"({1e6 * elapsed / n_stream:.0f} us/request)")
+    print(f"throughput {summary['throughput_tokens_per_s']:.0f} tok/s, "
+          f"mean queueing delay {summary['mean_queueing_delay_s']:.3f}s, "
+          f"p99 TTFT (P^2 estimate) {summary['p99_ttft_s']:.3f}s")
+    print(f"dispatch counts: {trace.metadata['routing']['dispatch_counts']}")
+    print("(The same event-driven path scales to one million requests "
+          "under a flat memory ceiling — see "
+          "benchmarks/test_bench_serving.py::test_bench_serving_million.)")
 
 
 if __name__ == "__main__":

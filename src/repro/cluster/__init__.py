@@ -15,7 +15,7 @@ accepts.
 from repro.cluster.group import ReplicaGroup, SimulatorFactory
 from repro.cluster.layout import ClusterLayout
 from repro.cluster.router import ROUTING_POLICIES, Router
-from repro.cluster.trace import ClusterTrace
+from repro.cluster.trace import ClusterTrace, StreamingClusterTrace
 from repro.hardware.presets import (
     ClusterSpec,
     cluster_of,
@@ -30,6 +30,7 @@ __all__ = [
     "ReplicaGroup",
     "Router",
     "SimulatorFactory",
+    "StreamingClusterTrace",
     "cluster_of",
     "validate_equal_gpu_count",
 ]

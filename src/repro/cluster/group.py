@@ -21,7 +21,7 @@ from typing import Callable
 from repro._common import ConfigurationError
 from repro.cluster.layout import ClusterLayout
 from repro.cluster.router import Router
-from repro.cluster.trace import ClusterTrace
+from repro.cluster.trace import ClusterTrace, StreamingClusterTrace
 from repro.hardware.presets import (
     NVLINK,
     ClusterSpec,
@@ -29,9 +29,10 @@ from repro.hardware.presets import (
     InterconnectSpec,
 )
 from repro.serving.engine import ContinuousBatchingEngine
+from repro.serving.events import drive
 from repro.systems.cost import ParallelismSpec
 from repro.systems.simulator import InferenceSimulator
-from repro.workloads.arrivals import Request
+from repro.workloads.arrivals import Request, RequestStream
 
 #: Builds one replica's simulator on its node under its parallelism spec.
 SimulatorFactory = Callable[[HardwareSpec, ParallelismSpec],
@@ -165,6 +166,41 @@ class ReplicaGroup:
             self._service_estimates[replica][key] = cached
         return cached
 
+    def _route_fn(self, policy: str, seed: int | None):
+        """Dispatch-time routing closure: ``request -> replica index``.
+
+        Wraps a fresh :class:`Router` exactly the way a front-end load
+        balancer runs — one decision per arrival, knowing only the dispatch
+        history.  Both the eager pre-pass (:meth:`route`) and the live
+        event loop (:meth:`serve`) call through here, so their assignments
+        are identical by construction.
+        """
+        router = Router(self.num_replicas, policy, seed)
+        # Round-robin never reads load state, so skip the per-replica
+        # service estimates (2 cost-model evaluations per replica per new
+        # request shape) on that path.
+        load_aware = router.policy != "round-robin"
+        zeros = [0.0] * self.num_replicas
+
+        def route(request: Request) -> int:
+            estimates = ([self.estimate_service_time(replica, request)
+                          for replica in range(self.num_replicas)]
+                         if load_aware else zeros)
+            return router.assign(request, estimates)
+
+        return route, router
+
+    def _dispatch(self, requests: list[Request], policy: str,
+                  seed: int | None) -> tuple[list[Request], list[int]]:
+        """Routing pre-pass: requests in dispatch order plus their replica
+        indices.  Pure function of ``(requests, policy, seed)`` — routing
+        never sees simulation results, so the pre-pass and the live event
+        loop make the same decisions."""
+        route, _ = self._route_fn(policy, seed)
+        ordered = sorted(requests,
+                         key=lambda r: (r.arrival_time, r.request_id))
+        return ordered, [route(request) for request in ordered]
+
     def route(self, requests: list[Request], policy: str | None = None,
               seed: int | None = None) -> list[list[Request]]:
         """Split ``requests`` into one per-replica trace (dispatch order).
@@ -173,58 +209,129 @@ class ReplicaGroup:
         the order a front-end sees them — and each lands on exactly one
         replica.  Pure function of ``(requests, policy, seed)``.
         """
-        router = Router(self.num_replicas,
-                        self.policy if policy is None else policy,
-                        self.seed if seed is None else seed)
-        # Round-robin never reads load state, so skip the per-replica
-        # service estimates (2 cost-model evaluations per replica per new
-        # request shape) on that path.
-        load_aware = router.policy != "round-robin"
-        zeros = [0.0] * self.num_replicas
+        ordered, indices = self._dispatch(
+            requests, self.policy if policy is None else policy,
+            self.seed if seed is None else seed)
         assignments: list[list[Request]] = [[] for _ in self.engines]
-        ordered = sorted(requests,
-                         key=lambda r: (r.arrival_time, r.request_id))
-        for request in ordered:
-            estimates = ([self.estimate_service_time(replica, request)
-                          for replica in range(self.num_replicas)]
-                         if load_aware else zeros)
-            assignments[router.assign(request, estimates)].append(request)
+        for request, index in zip(ordered, indices):
+            assignments[index].append(request)
         return assignments
 
     # ------------------------------------------------------------------ #
     # serving
     # ------------------------------------------------------------------ #
-    def serve(self, requests: list[Request], policy: str | None = None,
-              seed: int | None = None) -> ClusterTrace:
-        """Route ``requests`` across the replicas and serve each share.
+    def serve(self, requests, policy: str | None = None,
+              seed: int | None = None, record_mode: str = "full",
+              ttft_slo_s: float | None = None,
+              tpot_slo_s: float | None = None,
+              event_journal: list | None = None):
+        """Serve ``requests`` through one merged event stream.
 
-        Returns a :class:`ClusterTrace` with exactly one record per input
-        request; ``metadata["routing"]`` records the policy, seed, and
-        per-replica dispatch counts, ``metadata["replicas"]`` the
-        per-replica breakdowns.
+        Every replica becomes an event-driven
+        :class:`~repro.serving.engine.EngineRun` and
+        :func:`~repro.serving.events.drive` interleaves them on one heap:
+        routing fires at true arrival instants (dispatch order, exactly the
+        decisions :meth:`route` makes) and idle replicas consume zero work.
+        ``requests`` is a list or a bounded-memory
+        :class:`~repro.workloads.arrivals.RequestStream`.
+
+        ``record_mode="full"`` returns a :class:`ClusterTrace` with one
+        record per request; ``"streaming"`` a
+        :class:`~repro.cluster.trace.StreamingClusterTrace` in O(1) memory
+        whose goodput SLOs are fixed by ``ttft_slo_s``/``tpot_slo_s``.
+        ``metadata["routing"]`` records the policy, seed, and per-replica
+        dispatch counts, ``metadata["replicas"]`` the per-replica
+        breakdowns.  ``event_journal``, when given, receives every
+        processed ``(time, kind, replica)`` event (a test/debug surface).
         """
         policy = self.policy if policy is None else policy
         seed = self.seed if seed is None else seed
-        assignments = self.route(requests, policy=policy, seed=seed)
-        traces = [engine.serve(share)
-                  for engine, share in zip(self.engines, assignments)]
-
+        if record_mode not in ("full", "streaming"):
+            raise ConfigurationError(
+                f"unknown record_mode {record_mode!r}; known: ['full', "
+                f"'streaming']"
+            )
         simulator = self.engines[0].simulator
+
+        if isinstance(requests, RequestStream):
+            # Streams never materialize: every replica's budget probe uses
+            # the stream's global length bounds, and routing runs live.
+            bounds = requests.length_bounds
+            share_bounds = [bounds] * self.num_replicas
+            source = iter(requests)
+            route, router = self._route_fn(policy, seed)
+            total_budget = sum(
+                engine.kv_budget_tokens_for_bounds(*bounds)
+                for engine in self.engines)
+            upfront: list[tuple[Request, int]] = []
+        else:
+            # Routing pre-pass (pure, independent of simulation) so each
+            # replica's KV-budget probe sees exactly its share's length
+            # maxima — identical budgets to serving the shares directly.
+            ordered, indices = self._dispatch(requests, policy, seed)
+            share_bounds = [None] * self.num_replicas
+            counts = [0] * self.num_replicas
+            for request, index in zip(ordered, indices):
+                counts[index] += 1
+                previous = share_bounds[index]
+                if previous is None:
+                    share_bounds[index] = (request.input_len,
+                                           request.output_len)
+                else:
+                    share_bounds[index] = (
+                        max(previous[0], request.input_len),
+                        max(previous[1], request.output_len))
+            source = ordered
+            replay = iter(indices)
+            route = lambda request: next(replay)  # noqa: E731
+            router = None
+            total_budget = (sum(engine.kv_budget_tokens(requests)
+                                for engine in self.engines)
+                            if requests else None)
+            upfront = list(zip(ordered, indices))
+
+        streaming = record_mode == "streaming"
+        cluster_trace = None
+        observer = None
+        if streaming:
+            cluster_trace = StreamingClusterTrace(
+                system=simulator.name, model=simulator.config.name,
+                ttft_slo_s=ttft_slo_s, tpot_slo_s=tpot_slo_s)
+            observer = cluster_trace.observe
+        runs = []
+        for engine, share in zip(self.engines, share_bounds):
+            trace = engine.make_trace(record_mode, ttft_slo_s, tpot_slo_s,
+                                      quantiles=() if streaming else None)
+            if share is None:
+                runs.append(engine.start_run(trace, observer=observer))
+            else:
+                runs.append(engine.start_run(trace, max_input_len=share[0],
+                                             max_output_len=share[1],
+                                             observer=observer))
+        for request, index in upfront:
+            # Legacy contract: an impossible request raises before any
+            # simulation happens (streams check at their arrival instead).
+            runs[index].check_admissible(request)
+        drive(source, runs, route, journal=event_journal)
+        traces = [run.finalize() for run in runs]
+
+        # Live routing tallies dispatches as the event loop runs, so the
+        # counts exist only after drive(); the list pre-pass knew them
+        # upfront.
+        dispatch_counts = counts if router is None else router.dispatch_counts
         metadata = {
             "routing": {"policy": policy, "seed": seed,
-                        "dispatch_counts": [len(share)
-                                            for share in assignments]},
+                        "dispatch_counts": list(dispatch_counts)},
             "num_replicas": self.num_replicas,
             "total_gpus": self.total_gpus,
+            "record_mode": record_mode,
         }
-        if requests:
+        if total_budget is not None:
             # Cluster capacity is a hardware fact: probe every replica's
             # budget against the whole trace, so the reported budget does
             # not shrink when a routing policy starves a replica (an empty
             # replica's own trace reports budget 0).
-            metadata["kv_budget_tokens"] = sum(
-                engine.kv_budget_tokens(requests)
-                for engine in self.engines)
+            metadata["kv_budget_tokens"] = total_budget
         if self.cluster is not None:
             metadata["cluster"] = {"name": self.cluster.name,
                                    "node": self.cluster.node.name,
@@ -233,9 +340,28 @@ class ReplicaGroup:
         scheduler = self._aggregate_scheduler_stats(traces)
         if scheduler:
             metadata["scheduler"] = scheduler
-        return ClusterTrace.merge(traces, system=simulator.name,
-                                  model=simulator.config.name,
-                                  metadata=metadata)
+        if not streaming:
+            return ClusterTrace.merge(traces, system=simulator.name,
+                                      model=simulator.config.name,
+                                      metadata=metadata)
+        cluster_trace.replica_traces = traces
+        cluster_trace.metadata.update(metadata)
+        cluster_trace.metadata["replicas"] = [
+            {"replica": index, "num_requests": trace.num_requests,
+             "generated_tokens": trace.generated_tokens,
+             "duration_s": trace.duration,
+             "mean_queueing_delay_s": trace.mean_queueing_delay,
+             "kv_budget_tokens": trace.metadata.get("kv_budget_tokens", 0),
+             "peak_reserved_tokens": trace.metadata.get(
+                 "peak_reserved_tokens", 0),
+             "comm_time_share": trace.metadata.get("comm_time_share", 0.0)}
+            for index, trace in enumerate(traces)
+        ]
+        cluster_trace.metadata.setdefault(
+            "kv_budget_tokens",
+            sum(trace.metadata.get("kv_budget_tokens", 0)
+                for trace in traces))
+        return cluster_trace
 
     @staticmethod
     def _aggregate_scheduler_stats(traces) -> dict[str, int]:

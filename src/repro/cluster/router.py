@@ -114,6 +114,10 @@ class Router:
                 lambda i: max(clock, self._loads[i].busy_until)
                 + service_estimates[i])
         load = self._loads[index]
+        # Drop entries that drained before this arrival: keeps the router's
+        # state bounded by the in-flight work (not the trace length), which
+        # is what lets million-request streams route in O(1) memory.
+        load.retire(clock)
         load.in_flight.append((clock + service_estimates[index],
                                request.max_seq_len))
         load.busy_until = max(clock, load.busy_until) \

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.serving.sketches import DEFAULT_QUANTILES, StreamingTrace
 from repro.serving.trace import ServingTrace
 
 
@@ -71,6 +72,51 @@ class ClusterTrace(ServingTrace):
 
     def summary(self) -> dict:
         """Cluster summary: the serving summary plus replica-level facts."""
+        data = super().summary()
+        data["num_replicas"] = self.num_replicas
+        data["tokens_imbalance"] = self.tokens_imbalance
+        return data
+
+
+class StreamingClusterTrace(StreamingTrace):
+    """Cluster-level streaming trace (``record_mode="streaming"``).
+
+    The bounded-memory counterpart of :class:`ClusterTrace`: cluster-wide
+    metrics are folded into sketches as completions stream out of the
+    merged event loop (observation order is the event-processing order, not
+    completion-time order — exact aggregates are order-independent, P²
+    percentile estimates are deterministic given the event order).  The
+    per-replica sinks are lightweight :class:`StreamingTrace` objects with
+    percentile sketches disabled — their summaries in
+    ``metadata["replicas"]`` need only counts, totals, and delays, exactly
+    the fields :meth:`ClusterTrace.merge` reports.
+    """
+
+    def __init__(self, system: str, model: str, metadata: dict | None = None,
+                 quantiles=DEFAULT_QUANTILES,
+                 ttft_slo_s: float | None = None,
+                 tpot_slo_s: float | None = None,
+                 replica_traces: list[StreamingTrace] | None = None) -> None:
+        super().__init__(system, model, metadata=metadata,
+                         quantiles=quantiles, ttft_slo_s=ttft_slo_s,
+                         tpot_slo_s=tpot_slo_s)
+        self.replica_traces: list[StreamingTrace] = list(replica_traces or [])
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replica_traces)
+
+    @property
+    def tokens_imbalance(self) -> float:
+        """Max/mean ratio of generated tokens across replicas (1.0 = even);
+        same definition as :attr:`ClusterTrace.tokens_imbalance`."""
+        tokens = [trace.generated_tokens for trace in self.replica_traces]
+        if not tokens or sum(tokens) == 0:
+            return 1.0
+        return max(tokens) / (sum(tokens) / len(tokens))
+
+    def summary(self) -> dict:
+        """Cluster summary with the same keys as ``ClusterTrace.summary()``."""
         data = super().summary()
         data["num_replicas"] = self.num_replicas
         data["tokens_imbalance"] = self.tokens_imbalance

@@ -106,7 +106,8 @@ def serving_rate_sweep(model: str = "opt-6.7b",
                        pp_microbatches: int = 4,
                        cluster: tuple[str, ...] | None = None,
                        routing: tuple[str, ...] | str | None = None,
-                       require_equal_gpus: bool = True) -> ExperimentResult:
+                       require_equal_gpus: bool = True,
+                       record_mode: str = "full") -> ExperimentResult:
     """Sweep the request arrival rate and report serving metrics.
 
     ``input_len``/``output_len`` of ``None`` sample ShareGPT-style
@@ -137,6 +138,12 @@ def serving_rate_sweep(model: str = "opt-6.7b",
     prices decode epochs with the legacy per-step loop instead of the
     vectorized epoch fast path (bit-identical traces, much slower — see
     docs/serving.md, "Epoch pricing fast path").
+
+    ``record_mode="streaming"`` serves every row through bounded-memory
+    streaming traces (:mod:`repro.serving.sketches`): exact counts,
+    throughput, delays, and goodput; P² estimates for the latency
+    percentiles.  Use it when ``num_requests`` is large enough that
+    retaining per-request records would dominate memory.
     """
     result = ExperimentResult(
         "serving_rate_sweep",
@@ -166,7 +173,8 @@ def serving_rate_sweep(model: str = "opt-6.7b",
             exact_schedules=exact_schedules, exact_stepping=exact_stepping,
             cluster=cluster, routing=routing,
             pp_microbatches=pp_microbatches,
-            require_equal_gpus=require_equal_gpus)
+            require_equal_gpus=require_equal_gpus,
+            record_mode=record_mode)
     engines: dict[tuple[str, str], ContinuousBatchingEngine] = {}
     specs: dict[str, ParallelismSpec] = {}
     for entry in parallelism:
@@ -184,7 +192,9 @@ def serving_rate_sweep(model: str = "opt-6.7b",
                                      output_len=output_len)
         for (label, system_name), engine in engines.items():
             spec = specs[label]
-            trace = engine.serve(requests)
+            trace = engine.serve(requests, record_mode=record_mode,
+                                 ttft_slo_s=ttft_slo_s,
+                                 tpot_slo_s=tpot_slo_s)
             summary = trace.summary()
             solver = trace.metadata.get("scheduler", {})
             shards = trace.metadata["shards"]
@@ -217,6 +227,7 @@ def serving_rate_sweep(model: str = "opt-6.7b",
     result.notes["tpot_slo_s"] = tpot_slo_s
     result.notes["exact_schedules"] = exact_schedules
     result.notes["exact_stepping"] = exact_stepping
+    result.notes["record_mode"] = record_mode
     result.notes["parallelism"] = tuple(specs)
     result.notes["interconnect"] = link.name
     result.notes["lengths"] = (
@@ -248,7 +259,8 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
                         link, schedule_policy, rates, num_requests, pattern,
                         input_len, output_len, seed, ttft_slo_s, tpot_slo_s,
                         exact_schedules, exact_stepping, cluster, routing,
-                        pp_microbatches, require_equal_gpus) -> ExperimentResult:
+                        pp_microbatches, require_equal_gpus,
+                        record_mode="full") -> ExperimentResult:
     """Cluster-axis body of :func:`serving_rate_sweep`.
 
     One :class:`ReplicaGroup` per (cluster entry, system), reused across
@@ -291,7 +303,10 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
         for (label, system_name), group in groups.items():
             layout = layouts[label]
             for route_policy in policies:
-                trace = group.serve(requests, policy=route_policy, seed=seed)
+                trace = group.serve(requests, policy=route_policy, seed=seed,
+                                    record_mode=record_mode,
+                                    ttft_slo_s=ttft_slo_s,
+                                    tpot_slo_s=tpot_slo_s)
                 summary = trace.summary()
                 solver = trace.metadata.get("scheduler", {})
                 result.add(
@@ -324,6 +339,7 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
     result.notes["tpot_slo_s"] = tpot_slo_s
     result.notes["exact_schedules"] = exact_schedules
     result.notes["exact_stepping"] = exact_stepping
+    result.notes["record_mode"] = record_mode
     result.notes["cluster"] = tuple(layouts)
     result.notes["routing"] = policies
     result.notes["interconnect"] = link.name

@@ -4,16 +4,38 @@ Generalizes the paper's offline Section VI protocol to multi-request
 serving: arrival traces (:mod:`repro.workloads.arrivals`) are driven through
 any :class:`~repro.systems.simulator.InferenceSimulator` by the
 :class:`ContinuousBatchingEngine`, producing per-request TTFT/TPOT/latency
-records in a :class:`ServingTrace`.
+records in a :class:`ServingTrace` — or, with ``record_mode="streaming"``,
+bounded-memory sketch summaries in a :class:`StreamingTrace`.  The engine
+is event-driven (:mod:`repro.serving.events`): runs advance through an
+event heap instead of a global clock loop, so arrival traces can be lazy
+:class:`~repro.workloads.arrivals.RequestStream` iterators of any length.
 """
 
-from repro.serving.engine import ContinuousBatchingEngine
+from repro.serving.engine import ContinuousBatchingEngine, EngineRun
+from repro.serving.events import drive
+from repro.serving.sketches import (
+    DEFAULT_QUANTILES,
+    P2Quantile,
+    StreamingGoodput,
+    StreamingMean,
+    StreamingPercentiles,
+    StreamingTrace,
+)
 from repro.serving.trace import RequestRecord, ServingTrace
-from repro.workloads.arrivals import Request
+from repro.workloads.arrivals import Request, RequestStream
 
 __all__ = [
+    "DEFAULT_QUANTILES",
     "ContinuousBatchingEngine",
+    "EngineRun",
+    "P2Quantile",
     "Request",
     "RequestRecord",
+    "RequestStream",
     "ServingTrace",
+    "StreamingGoodput",
+    "StreamingMean",
+    "StreamingPercentiles",
+    "StreamingTrace",
+    "drive",
 ]

@@ -11,7 +11,8 @@ requests leave the batch the moment their last token is produced.
 Public contract
 ---------------
 :meth:`ContinuousBatchingEngine.serve` consumes a list of
-:class:`~repro.workloads.arrivals.Request` and returns a
+:class:`~repro.workloads.arrivals.Request` (or a bounded-memory
+:class:`~repro.workloads.arrivals.RequestStream`) and returns a
 :class:`~repro.serving.trace.ServingTrace` containing exactly one
 :class:`~repro.serving.trace.RequestRecord` per input request, with ordered
 timestamps ``arrival <= admission <= first_token <= completion``.  Requests
@@ -23,6 +24,26 @@ or silently truncating.  Trace metadata reports the node KV budget, peak
 reservation, per-shard budgets/occupancy, epoch/step counts, PCIe traffic,
 communication-time share, and (for systems that plan offline) per-serve
 scheduler-cache counters.
+
+``record_mode="streaming"`` swaps the retained trace for a
+:class:`~repro.serving.sketches.StreamingTrace`: the same summary surface,
+O(1) memory, percentiles estimated by P² sketches, and goodput SLOs fixed
+at serve time (``ttft_slo_s``/``tpot_slo_s``).  Everything except the
+percentile estimates is exact and identical to the retained trace.
+
+Event-driven core
+-----------------
+``serve`` no longer steps a wall clock.  :class:`EngineRun` re-expresses
+one serve as a discrete-event state machine — queue a routed arrival
+(``offer``), process the next admission/epoch event (``advance``), drain
+after the source closes (``close``/``finalize``) — and
+:func:`repro.serving.events.drive` runs one or many such runs off a merged
+event heap, so idle time costs nothing and several replicas interleave on
+true arrival order (see :mod:`repro.serving.events` for the heap
+invariants).  The legacy clock loop is retained behind the simulator's
+``exact_stepping=True`` escape hatch and pinned bit-identical to the event
+path in ``tests/test_epoch_pricing.py`` and
+``tests/test_serving_events.py``.
 
 Sharded KV budgets (multi-GPU)
 ------------------------------
@@ -87,10 +108,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._common import ConfigurationError, validate_positive
+from repro.serving.events import ADMISSION, COMPLETION, EPOCH_BOUNDARY, drive
+from repro.serving.sketches import DEFAULT_QUANTILES, StreamingTrace
 from repro.serving.trace import RequestRecord, ServingTrace
 from repro.systems.memory import MemoryHierarchy
 from repro.systems.simulator import EpochTimings, InferenceSimulator
-from repro.workloads.arrivals import Request
+from repro.workloads.arrivals import Request, RequestStream
 from repro.workloads.descriptors import Workload
 
 
@@ -206,10 +229,23 @@ class ContinuousBatchingEngine:
             raise ConfigurationError(
                 "kv_budget_tokens needs at least one request to size its probe"
             )
+        return self.kv_budget_tokens_for_bounds(
+            max(r.input_len for r in requests),
+            max(r.output_len for r in requests))
+
+    def kv_budget_tokens_for_bounds(self, max_input_len: int,
+                                    max_output_len: int) -> int:
+        """KV budget probed from length *bounds* instead of a request list.
+
+        The budget depends on the probe's maximum lengths (activation
+        bytes scale with the prompt length), so streams and event-driven
+        runs — which never materialize their request lists — probe with
+        the same bounds a list probe would reach.
+        """
         probe = Workload(
             batch_size=1,
-            input_len=max(r.input_len for r in requests),
-            output_len=max(r.output_len for r in requests),
+            input_len=max_input_len,
+            output_len=max_output_len,
             name="serving-probe",
         )
         return self.simulator.gpu_kv_budget_tokens(probe, self.reserve_fraction)
@@ -243,27 +279,126 @@ class ContinuousBatchingEngine:
                 <= shard_limit_tokens)
 
     # ------------------------------------------------------------------ #
-    # serving loop
+    # serving
     # ------------------------------------------------------------------ #
-    def serve(self, requests: list[Request]) -> ServingTrace:
-        """Simulate serving ``requests`` and return the per-request trace."""
-        parallelism = self.simulator.parallelism
-        trace = ServingTrace(
-            system=self.simulator.name, model=self.simulator.config.name,
-            metadata={"hardware": self.simulator.hardware.name,
-                      "kv_dtype": self.simulator.kv_dtype,
-                      "parallelism": {"mode": parallelism.mode,
-                                      "degree": parallelism.degree,
-                                      "label": parallelism.label}},
-        )
-        solver_before = self.simulator.schedule_stats()
+    def serve(self, requests, record_mode: str = "full",
+              ttft_slo_s: float | None = None,
+              tpot_slo_s: float | None = None):
+        """Simulate serving ``requests`` and return the serving trace.
+
+        ``requests`` is a list of :class:`Request` or a
+        :class:`~repro.workloads.arrivals.RequestStream` (bounded memory:
+        the stream is consumed one arrival at a time and never
+        materialized).  ``record_mode="full"`` (default) returns a
+        :class:`ServingTrace` with one retained record per request;
+        ``"streaming"`` returns a
+        :class:`~repro.serving.sketches.StreamingTrace` with the same
+        summary surface in O(1) memory — ``ttft_slo_s``/``tpot_slo_s`` fix
+        the goodput SLOs the streaming trace will answer for (ignored in
+        full mode, where goodput is computed from the retained records).
+
+        The default path is event-driven (:class:`EngineRun` +
+        :func:`~repro.serving.events.drive`); a simulator built with
+        ``exact_stepping=True`` serves through the retained clock-stepped
+        loop instead, which is pinned bit-identical.
+        """
+        trace = self.make_trace(record_mode, ttft_slo_s, tpot_slo_s)
+        if isinstance(requests, RequestStream):
+            if self.simulator.exact_stepping:
+                raise ConfigurationError(
+                    "exact_stepping replays the retained clock loop over a "
+                    "materialized request list; serve a RequestStream with "
+                    "the event-driven default instead"
+                )
+            max_input, max_output = requests.length_bounds
+            run = self.start_run(trace, max_input_len=max_input,
+                                 max_output_len=max_output)
+            drive(iter(requests), [run], lambda request: 0)
+            return run.finalize()
         if not requests:
             trace.metadata.update(kv_budget_tokens=0, peak_reserved_tokens=0,
                                   num_epochs=0, num_decode_steps=0,
                                   pcie_bytes=0.0, shards=[],
                                   comm_time_s=0.0, comm_time_share=0.0)
             return trace
+        if self.simulator.exact_stepping:
+            return self._serve_clock_loop(requests, trace)
+        run = self.start_run(
+            trace,
+            max_input_len=max(r.input_len for r in requests),
+            max_output_len=max(r.output_len for r in requests))
+        for request in requests:  # legacy contract: OOM raises up front
+            run.check_admissible(request)
+        ordered = sorted(requests,
+                         key=lambda r: (r.arrival_time, r.request_id))
+        drive(ordered, [run], lambda request: 0)
+        return run.finalize()
 
+    def make_trace(self, record_mode: str, ttft_slo_s: float | None = None,
+                   tpot_slo_s: float | None = None, quantiles=None):
+        """Empty trace of the requested ``record_mode``, base metadata set.
+
+        ``quantiles`` (streaming mode only) overrides the percentile ranks
+        the streaming trace sketches; ``None`` keeps the defaults.  The
+        cluster layer passes ``quantiles=()`` for its per-replica sinks,
+        whose summaries need only counts and totals — that disables the
+        sketches entirely.
+        """
+        parallelism = self.simulator.parallelism
+        metadata = {"hardware": self.simulator.hardware.name,
+                    "kv_dtype": self.simulator.kv_dtype,
+                    "parallelism": {"mode": parallelism.mode,
+                                    "degree": parallelism.degree,
+                                    "label": parallelism.label},
+                    "record_mode": record_mode}
+        if record_mode == "full":
+            return ServingTrace(system=self.simulator.name,
+                                model=self.simulator.config.name,
+                                metadata=metadata)
+        if record_mode == "streaming":
+            return StreamingTrace(system=self.simulator.name,
+                                  model=self.simulator.config.name,
+                                  metadata=metadata,
+                                  quantiles=(DEFAULT_QUANTILES
+                                             if quantiles is None
+                                             else quantiles),
+                                  ttft_slo_s=ttft_slo_s,
+                                  tpot_slo_s=tpot_slo_s)
+        raise ConfigurationError(
+            f"unknown record_mode {record_mode!r}; known: ['full', "
+            f"'streaming']"
+        )
+
+    def start_run(self, trace, max_input_len: int | None = None,
+                  max_output_len: int | None = None,
+                  observer=None) -> "EngineRun":
+        """Begin one event-driven serve over this engine.
+
+        ``max_input_len``/``max_output_len`` bound the lengths of every
+        request the run will be offered — they size the KV-budget probe
+        exactly like :meth:`kv_budget_tokens` does for a list.  ``None``
+        builds an idle run that may never be offered a request (a replica a
+        routing policy starved; it finalizes to the empty-trace metadata).
+        ``observer`` is an extra per-record sink called after the trace
+        observes each completion (the cluster layer's streaming fan-out).
+        Drive the run (alone or merged with others) through
+        :func:`repro.serving.events.drive`, then call
+        :meth:`EngineRun.finalize`.
+        """
+        if max_input_len is None or max_output_len is None:
+            budget = 0
+        else:
+            budget = self.kv_budget_tokens_for_bounds(max_input_len,
+                                                      max_output_len)
+        return EngineRun(self, trace, budget, observer=observer)
+
+    def _serve_clock_loop(self, requests: list[Request], trace):
+        """Retained clock-stepped serving loop (``exact_stepping=True``).
+
+        The pre-event-loop implementation, kept as the semantic reference:
+        the event-driven path is pinned bit-identical to it.
+        """
+        solver_before = self.simulator.schedule_stats()
         budget = self.kv_budget_tokens(requests)
         shard_budgets = self.shard_budgets(budget)
         shard_limit = min(shard_budgets)
@@ -394,7 +529,7 @@ class ContinuousBatchingEngine:
     def _decode_epoch(self, running: list[_RunningRequest],
                       pending: deque, shard_reserved: int, shard_limit: int,
                       clock: float, memory: MemoryHierarchy,
-                      trace: ServingTrace) -> tuple[float, int, float]:
+                      sink) -> tuple[float, int, float]:
         """Decode with fixed batch composition until a completion or an
         admissible arrival ends the epoch.
 
@@ -420,7 +555,7 @@ class ContinuousBatchingEngine:
                 self._price_epoch_fast(workload, running, pending,
                                        shard_reserved, shard_limit,
                                        clock, memory)
-        self._finish_epoch(running, trace, steps, first_clock, clock)
+        self._finish_epoch(running, sink, steps, first_clock, clock)
         return clock, steps, steps * comm_per_step
 
     def _price_epoch_fast(self, workload: Workload,
@@ -506,14 +641,18 @@ class ContinuousBatchingEngine:
         return clock, steps, first_clock, comm_per_step
 
     def _finish_epoch(self, running: list[_RunningRequest],
-                      trace: ServingTrace, steps: int, first_clock: float,
+                      sink, steps: int, first_clock: float,
                       end_clock: float) -> None:
         """Apply an epoch's effects to the batch and record completions.
 
         All running requests decrement uniformly, so the finishers are
         exactly the requests whose remaining output equalled the steps
         taken, and first tokens land at the epoch's first cumulative clock
-        — no per-step scan of the batch is needed.
+        — no per-step scan of the batch is needed.  ``sink`` is anything
+        with ``observe(record)``: a :class:`~repro.serving.trace.ServingTrace`,
+        a :class:`~repro.serving.sketches.StreamingTrace`, or an
+        :class:`EngineRun` fanning records out to both a trace and a
+        cluster-level sink.
         """
         for request in running:
             request.generated += steps
@@ -521,7 +660,7 @@ class ContinuousBatchingEngine:
                 request.first_token_time = first_clock
         finished = [r for r in running if r.remaining <= 0]
         for done in finished:
-            trace.add_record(RequestRecord(
+            sink.observe(RequestRecord(
                 request_id=done.request.request_id,
                 arrival_time=done.request.arrival_time,
                 admission_time=done.admission_time,
@@ -534,3 +673,260 @@ class ContinuousBatchingEngine:
             # The epoch ends here; serve() recomputes the reservation
             # totals from the surviving batch before the next admission.
             running[:] = [r for r in running if r.remaining > 0]
+
+
+class EngineRun:
+    """One serve over one engine, as a discrete-event state machine.
+
+    Re-expresses the retained clock loop event by event so that
+    :func:`repro.serving.events.drive` can interleave many runs on a merged
+    heap.  The life cycle is: ``offer(request)`` for every routed arrival
+    (in ``(arrival_time, request_id)`` order), ``advance()`` whenever the
+    driver pops this run's scheduled event, ``close()`` once the arrival
+    source is exhausted, and ``finalize()`` after the loop drains — which
+    writes the exact metadata the clock loop writes and returns the trace.
+
+    State-machine invariants (they are what keep the event path
+    bit-identical to the clock loop):
+
+    * at most one scheduled event, and it is immutable once priced —
+      arrivals only append behind the FCFS queue head the pricing used;
+    * a decode epoch is priced only when the next queue head is known
+      (queue non-empty or run closed); otherwise the run *blocks* and
+      consumes no work until ``offer``/``close`` unblocks it;
+    * an idle run with a queued head wakes exactly at
+      ``max(clock, head.arrival_time)`` (the clock loop's idle jump);
+    * admission, prefill, epoch pricing, and reservation accounting reuse
+      the engine's own methods — the two paths share every formula.
+    """
+
+    def __init__(self, engine: ContinuousBatchingEngine, trace,
+                 budget_tokens: int, observer=None) -> None:
+        self.engine = engine
+        self.trace = trace
+        self._observer = observer
+        self._budget = budget_tokens
+        self._shard_budgets = engine.shard_budgets(budget_tokens)
+        self._shard_limit = min(self._shard_budgets)
+        self._memory = MemoryHierarchy.from_hardware(engine.simulator.hardware)
+        self._pending: deque[Request] = deque()
+        self._running: list[_RunningRequest] = []
+        self._clock = 0.0
+        self._reserved = 0
+        self._shard_reserved = 0
+        self._peak_reserved = 0
+        self._peak_shard_reserved = 0
+        self._num_epochs = 0
+        self._num_steps = 0
+        self._comm_time = 0.0
+        self._offered = 0
+        self._closed = False
+        self._finalized = False
+        #: The scheduled event: ``(ADMISSION, time)`` or
+        #: ``(kind, end_clock, steps, first_clock, comm_per_step)``.
+        self._event: tuple | None = None
+        self._last_key: tuple[float, int] | None = None
+        # Per-run deltas of the engine/simulator-lifetime counters.
+        self._solver_before = engine.simulator.schedule_stats()
+        self._epoch_hits_before = engine._epoch_hits
+        self._epoch_misses_before = engine._epoch_misses
+
+    # ------------------------------------------------------------------ #
+    # record sink (fans out to the trace and an optional cluster sink)
+    # ------------------------------------------------------------------ #
+    def observe(self, record: RequestRecord) -> None:
+        self.trace.observe(record)
+        if self._observer is not None:
+            self._observer(record)
+
+    # ------------------------------------------------------------------ #
+    # driver interface (see repro.serving.events.ReplicaRun)
+    # ------------------------------------------------------------------ #
+    def check_admissible(self, request: Request) -> None:
+        """Raise if ``request`` can never fit this run's shard budgets."""
+        footprint = self.engine.shard_footprint(request)
+        if footprint > self._shard_limit:
+            raise ConfigurationError(
+                f"request {request.request_id} needs {footprint} KV "
+                f"tokens on each of {self.engine.num_shards} shard(s) but "
+                f"the tightest shard budget is {self._shard_limit} (node "
+                f"budget {self._budget}); it can never be admitted"
+            )
+
+    def offer(self, request: Request) -> tuple[float, str] | None:
+        """Queue one routed arrival; return a newly scheduled event."""
+        if self._closed:
+            raise ConfigurationError(
+                "cannot offer a request to a closed run"
+            )
+        key = (request.arrival_time, request.request_id)
+        if self._last_key is not None and key < self._last_key:
+            raise ConfigurationError(
+                f"requests must be offered in (arrival_time, request_id) "
+                f"order; got {key} after {self._last_key}"
+            )
+        self._last_key = key
+        self.check_admissible(request)
+        self._pending.append(request)
+        self._offered += 1
+        if self._event is None:
+            # A queued arrival can only unblock an idle or head-starved
+            # run; an already-scheduled event is never affected (it was
+            # priced against the queue head, and this request is behind it).
+            return self._schedule()
+        return None
+
+    def advance(self) -> tuple[float, str] | None:
+        """Process the scheduled event; return the next one (if any)."""
+        if self._event is None:
+            raise ConfigurationError("run has no scheduled event to advance")
+        event, self._event = self._event, None
+        if event[0] == ADMISSION:
+            self._clock = max(self._clock, event[1])
+        else:
+            _, end, steps, first, comm_per_step = event
+            self._apply_epoch(end, steps, first, comm_per_step)
+        return self._cycle()
+
+    def close(self) -> tuple[float, str] | None:
+        """No further arrivals: unblock a head-starved run, mark closed."""
+        if self._closed:
+            return None
+        self._closed = True
+        if self._event is None and self._running:
+            # The run was blocked awaiting its next queue head; it now
+            # knows no head is coming and can price its remaining epochs.
+            return self._schedule()
+        return None
+
+    @property
+    def finished(self) -> bool:
+        return (self._closed and self._event is None
+                and not self._pending and not self._running)
+
+    # ------------------------------------------------------------------ #
+    # internals: the clock loop's iteration, split at its wait points
+    # ------------------------------------------------------------------ #
+    def _cycle(self) -> tuple[float, str] | None:
+        """One admission round at the current clock, then (re)schedule."""
+        engine = self.engine
+        pending, running = self._pending, self._running
+        admitted: list[Request] = []
+        while (pending and pending[0].arrival_time <= self._clock
+               and engine._fits(pending[0], running, self._shard_reserved,
+                                self._shard_limit)):
+            request = pending.popleft()
+            running.append(_RunningRequest(request,
+                                           admission_time=self._clock))
+            self._reserved += request.max_seq_len
+            self._shard_reserved += engine.shard_footprint(request)
+            admitted.append(request)
+        if self._reserved > self._peak_reserved:
+            self._peak_reserved = self._reserved
+        if self._shard_reserved > self._peak_shard_reserved:
+            self._peak_shard_reserved = self._shard_reserved
+        if admitted:
+            prefill, prefill_comm = engine._prefill_time(admitted,
+                                                         self._memory)
+            self._clock += prefill
+            self._comm_time += prefill_comm
+        return self._schedule()
+
+    def _schedule(self) -> tuple[float, str] | None:
+        """Compute the run's next event from its state (None = wait)."""
+        if not self._running:
+            if self._pending:
+                # Idle with a queued head: wake at its arrival instant.
+                time = max(self._clock, self._pending[0].arrival_time)
+                self._event = (ADMISSION, time)
+                return (time, ADMISSION)
+            return None  # awaiting offers, or finished once closed
+        if not self._pending and not self._closed:
+            return None  # blocked: the epoch cut needs the next queue head
+        return self._schedule_epoch()
+
+    def _schedule_epoch(self) -> tuple[float, str]:
+        engine = self.engine
+        running, pending = self._running, self._pending
+        workload = Workload(
+            batch_size=len(running),
+            input_len=max(r.context_length for r in running),
+            output_len=min(r.remaining for r in running),
+            name="serving-decode",
+        )
+        self._num_epochs += 1
+        price = (engine._price_epoch_stepwise
+                 if engine.simulator.exact_stepping
+                 else engine._price_epoch_fast)
+        end, steps, first, comm_per_step = price(
+            workload, running, pending, self._shard_reserved,
+            self._shard_limit, self._clock, self._memory)
+        # The final step of a full epoch completes its shortest requests;
+        # a shorter epoch was cut by the queue head becoming admissible.
+        kind = COMPLETION if steps == workload.output_len else EPOCH_BOUNDARY
+        self._event = (kind, end, steps, first, comm_per_step)
+        return (end, kind)
+
+    def _apply_epoch(self, end: float, steps: int, first: float,
+                     comm_per_step: float) -> None:
+        engine = self.engine
+        self._clock = end
+        self._num_steps += steps
+        self._comm_time += steps * comm_per_step
+        engine._finish_epoch(self._running, self, steps, first, end)
+        self._reserved = sum(r.request.max_seq_len for r in self._running)
+        self._shard_reserved = sum(engine.shard_footprint(r.request)
+                                   for r in self._running)
+
+    # ------------------------------------------------------------------ #
+    def finalize(self):
+        """Write the serve metadata and return the trace.
+
+        Produces exactly the metadata the retained clock loop writes —
+        including the empty-trace shape for a run that was never offered a
+        request (a replica the routing policy starved).
+        """
+        if not self.finished:
+            raise ConfigurationError(
+                "finalize() before the event loop drained this run"
+            )
+        if self._finalized:
+            return self.trace
+        self._finalized = True
+        engine = self.engine
+        trace = self.trace
+        if self._offered == 0:
+            trace.metadata.update(kv_budget_tokens=0, peak_reserved_tokens=0,
+                                  num_epochs=0, num_decode_steps=0,
+                                  pcie_bytes=0.0, shards=[],
+                                  comm_time_s=0.0, comm_time_share=0.0)
+            return trace
+        trace.metadata.update(
+            kv_budget_tokens=self._budget,
+            peak_reserved_tokens=self._peak_reserved,
+            num_epochs=self._num_epochs,
+            num_decode_steps=self._num_steps,
+            pcie_bytes=self._memory.link.total_bytes,
+            shards=[
+                {"shard": index, "budget_tokens": shard_budget,
+                 "peak_reserved_tokens": self._peak_shard_reserved,
+                 "peak_occupancy": (self._peak_shard_reserved / shard_budget
+                                    if shard_budget > 0 else 0.0)}
+                for index, shard_budget in enumerate(self._shard_budgets)
+            ],
+            comm_time_s=self._comm_time,
+            comm_time_share=(self._comm_time / self._clock
+                             if self._clock > 0 else 0.0),
+        )
+        if not engine.simulator.exact_stepping:
+            trace.metadata["epoch_cache"] = {
+                "hits": engine._epoch_hits - self._epoch_hits_before,
+                "misses": engine._epoch_misses - self._epoch_misses_before,
+            }
+        solver_after = engine.simulator.schedule_stats()
+        if solver_after:
+            trace.metadata["scheduler"] = {
+                key: value - self._solver_before.get(key, 0)
+                for key, value in solver_after.items()
+            }
+        return trace

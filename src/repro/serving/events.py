@@ -1,0 +1,158 @@
+"""Discrete-event driver for the serving and cluster layers.
+
+The clock-stepped serving loop advanced wall-clock time iteration by
+iteration, so simulating an idle second cost as much as a busy one.  The
+event-driven core instead jumps between the instants where something can
+actually change:
+
+* **arrival** — the next request of the (sorted) arrival source reaches the
+  front-end and is routed to exactly one replica run;
+* **epoch-boundary** — a replica's priced decode epoch ends early because
+  its queue head became admissible (the batch composition changes);
+* **completion** — a replica's priced decode epoch ends because its
+  shortest-remaining requests produce their last token.
+
+:func:`drive` merges these into one :mod:`heapq` stream over any number of
+replica runs (``ContinuousBatchingEngine.start_run`` builds one run per
+replica) and a ``route`` callback that picks the run each arrival joins.
+
+Heap invariants
+---------------
+1. **Arrivals outrun run events at equal timestamps.**  Admission uses
+   ``arrival_time <= clock``, so a request arriving exactly at an epoch
+   boundary must already be queued when the boundary is processed —
+   otherwise the next epoch would be priced against the wrong queue head.
+2. **At most one scheduled event per run, and it never changes.**  A run's
+   next event is a pure function of its state; new arrivals only append to
+   the run's FCFS queue tail, which cannot affect an already-priced epoch
+   (the epoch cut depends only on the queue *head*).
+3. **A run prices an epoch only when its next queue head is known** — its
+   pending queue is non-empty or the source is exhausted (``close``).  The
+   epoch cut depends on the next routed request even when that request
+   arrives after the epoch's natural end, so a run with an empty queue
+   *blocks* (consumes zero work) until the next arrival is routed to it or
+   the source closes.  This is the conservative-synchronization condition
+   that keeps event-driven traces bit-identical to the clock-stepped loop.
+4. **One lazy arrival at a time.**  Only the next unrouted request sits in
+   the heap, so a million-request source never materializes: memory holds
+   the heap (O(replicas)), each run's backlog, and the metric sinks.
+
+Ties between run events at one timestamp break by run index, and the heap
+sequence number makes every entry unique — ordering is deterministic, which
+is what makes serving traces a pure function of ``(trace seed, routing
+policy, router seed)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Protocol
+
+from repro._common import ConfigurationError
+from repro.workloads.arrivals import Request
+
+#: Event kinds, as they appear in ``drive``'s journal.
+ARRIVAL = "arrival"
+ADMISSION = "admission"
+EPOCH_BOUNDARY = "epoch-boundary"
+COMPLETION = "completion"
+
+
+class ReplicaRun(Protocol):
+    """What :func:`drive` needs from a replica run (see ``EngineRun``)."""
+
+    def offer(self, request: Request) -> tuple[float, str] | None:
+        """Queue an arrival; return a newly scheduled ``(time, kind)``."""
+
+    def advance(self) -> tuple[float, str] | None:
+        """Process the run's scheduled event; return the next one."""
+
+    def close(self) -> tuple[float, str] | None:
+        """No further arrivals will be offered; return a scheduled event."""
+
+    @property
+    def finished(self) -> bool:
+        """True once the run has drained its queue and running batch."""
+
+
+def drive(source: Iterable[Request], runs: list[ReplicaRun],
+          route: Callable[[Request], int],
+          journal: list | None = None) -> None:
+    """Run the merged event loop to completion.
+
+    ``source`` yields requests in ``(arrival_time, request_id)`` order (one
+    is pulled ahead at a time, so generators and streams never
+    materialize); ``route(request)`` returns the index of the run each
+    arrival joins, called exactly once per request in arrival order —
+    dispatch-time routing, exactly as a front-end load balancer decides.
+    ``journal``, when given, receives ``(time, kind, run_index)`` tuples
+    for every processed event (a test/debug surface; see
+    ``tests/test_serving_events.py``).
+    """
+    if not runs:
+        raise ConfigurationError("drive needs at least one replica run")
+    arrivals = iter(source)
+    heap: list[tuple] = []
+    sequence = 0
+    last_key: tuple[float, int] | None = None
+    closed = False
+
+    def push_run_event(index: int, event: tuple[float, str] | None) -> None:
+        nonlocal sequence
+        if event is None:
+            return
+        time, kind = event
+        sequence += 1
+        # Run events tie-break after arrivals (invariant 1) and between
+        # themselves by run index; the sequence number keeps entries unique
+        # so heapq never compares payloads.
+        heapq.heappush(heap, (time, index, sequence, kind, index, None))
+
+    def pull_arrival() -> None:
+        nonlocal sequence, closed, last_key
+        if closed:
+            return
+        request = next(arrivals, None)
+        if request is None:
+            closed = True
+            for index, run in enumerate(runs):
+                push_run_event(index, run.close())
+            return
+        key = (request.arrival_time, request.request_id)
+        if last_key is not None and key < last_key:
+            raise ConfigurationError(
+                f"arrival source must be sorted by (arrival_time, "
+                f"request_id); got {key} after {last_key}"
+            )
+        last_key = key
+        sequence += 1
+        heapq.heappush(heap,
+                       (request.arrival_time, -1, sequence, ARRIVAL, None,
+                        request))
+
+    pull_arrival()
+    while heap:
+        time, _, _, kind, index, request = heapq.heappop(heap)
+        if kind == ARRIVAL:
+            target = route(request)
+            if not 0 <= target < len(runs):
+                raise ConfigurationError(
+                    f"route() must return a run index in [0, {len(runs)}), "
+                    f"got {target!r}"
+                )
+            if journal is not None:
+                journal.append((time, ARRIVAL, target))
+            push_run_event(target, runs[target].offer(request))
+            pull_arrival()
+        else:
+            if journal is not None:
+                journal.append((time, kind, index))
+            push_run_event(index, runs[index].advance())
+
+    for index, run in enumerate(runs):
+        if not run.finished:
+            raise ConfigurationError(
+                f"event loop drained with run {index} unfinished — a run "
+                f"scheduled no event while holding work (driver invariant "
+                f"violation)"
+            )

@@ -1,0 +1,387 @@
+"""Streaming metric sketches: serving summaries in bounded memory.
+
+A retained :class:`~repro.serving.trace.ServingTrace` holds one
+:class:`~repro.serving.trace.RequestRecord` per request, so its memory grows
+linearly with trace length — fine for a 24-request sweep row, fatal for the
+ROADMAP's "millions of users".  This module provides the streaming
+counterpart: every metric the serving summary reports is folded into O(1)
+state per metric as records are observed, and the records themselves are
+dropped.
+
+* :class:`P2Quantile` — the P² piecewise-parabolic online quantile
+  estimator of Jain & Chlamtac (1985): five markers per quantile, exact
+  below five observations, O(1) update and memory after that;
+* :class:`StreamingPercentiles` — a bank of :class:`P2Quantile` mirroring
+  :func:`repro.evaluation.metrics.percentiles`;
+* :class:`StreamingMean` / :class:`StreamingGoodput` — exact count/mean and
+  SLO-conditioned goodput accumulators;
+* :class:`StreamingTrace` — the ``record_mode="streaming"`` stand-in for
+  :class:`~repro.serving.trace.ServingTrace`: same summary surface
+  (``num_requests``, ``duration``, ``throughput``, ``*_percentiles``,
+  ``goodput``, ``summary``), no retained records.
+
+Exactness contract: counts, token totals, duration, throughput, mean
+queueing delay, and goodput are *exact* (identical float arithmetic to the
+retained trace, records observed in the same order).  Percentiles are P²
+*estimates* — exact for traces of fewer than five requests, approximate
+beyond that — so comparisons against retained traces belong inside sketch
+error bounds (see ``tests/test_sketches.py`` and the equivalence tests in
+``tests/test_serving_events.py``).
+
+Because SLO compliance must be judged the moment a record is observed (the
+record is then gone), a streaming trace fixes its goodput SLOs at
+construction; :meth:`StreamingTrace.goodput` answers only for those SLOs
+(or for the unconstrained case, which needs no per-record state).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro._common import ConfigurationError
+from repro.serving.trace import RequestRecord
+
+#: Percentile ranks tracked by default — the ones ``summary()`` reports.
+DEFAULT_QUANTILES = (50, 90, 99)
+
+
+class P2Quantile:
+    """P² online estimator of a single quantile (Jain & Chlamtac, 1985).
+
+    Keeps five markers whose heights approximate the quantile curve: the
+    minimum, the maximum, the target quantile ``q``, and the midpoints
+    ``q/2`` and ``(1+q)/2``.  Each observation shifts marker positions and
+    adjusts heights by a piecewise-parabolic (hence P²) interpolation, so
+    the estimate converges without retaining observations.  Below five
+    observations the exact values are kept and the quantile is computed
+    directly (matching :func:`numpy.percentile`).
+    """
+
+    __slots__ = ("quantile", "count", "_markers", "_positions", "_desired",
+                 "_rates")
+
+    def __init__(self, quantile: float) -> None:
+        if not 0.0 < quantile < 1.0:
+            raise ConfigurationError(
+                f"quantile must lie strictly in (0, 1), got {quantile!r}"
+            )
+        self.quantile = float(quantile)
+        self.count = 0
+        self._markers: list[float] = []
+        self._positions: list[float] | None = None
+        self._desired: list[float] | None = None
+        q = self.quantile
+        self._rates = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        markers = self._markers
+        if self._positions is None:
+            bisect.insort(markers, value)
+            if len(markers) == 5:
+                q = self.quantile
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q,
+                                 3.0 + 2.0 * q, 5.0]
+            return
+        positions = self._positions
+        if value < markers[0]:
+            markers[0] = value
+            cell = 0
+        elif value >= markers[4]:
+            markers[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= markers[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        desired = self._desired
+        rates = self._rates
+        for i in range(1, 5):
+            desired[i] += rates[i]
+        for i in (1, 2, 3):
+            gap = desired[i] - positions[i]
+            if ((gap >= 1.0 and positions[i + 1] - positions[i] > 1.0)
+                    or (gap <= -1.0 and positions[i - 1] - positions[i] < -1.0)):
+                step = 1.0 if gap >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                # P² falls back to linear interpolation whenever the
+                # parabolic candidate would break marker monotonicity.
+                if not markers[i - 1] < candidate < markers[i + 1]:
+                    candidate = self._linear(i, step)
+                markers[i] = candidate
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        markers, positions = self._markers, self._positions
+        outer = step / (positions[i + 1] - positions[i - 1])
+        above = ((positions[i] - positions[i - 1] + step)
+                 * (markers[i + 1] - markers[i])
+                 / (positions[i + 1] - positions[i]))
+        below = ((positions[i + 1] - positions[i] - step)
+                 * (markers[i] - markers[i - 1])
+                 / (positions[i] - positions[i - 1]))
+        return markers[i] + outer * (above + below)
+
+    def _linear(self, i: int, step: float) -> float:
+        markers, positions = self._markers, self._positions
+        j = i + int(step)
+        return (markers[i] + step * (markers[j] - markers[i])
+                / (positions[j] - positions[i]))
+
+    @property
+    def value(self) -> float:
+        """Current estimate of the tracked quantile."""
+        if self.count == 0:
+            raise ConfigurationError(
+                "the quantile of an empty stream is undefined"
+            )
+        if self._positions is None:
+            # Fewer than five observations: exact, matching np.percentile.
+            return float(np.percentile(self._markers, self.quantile * 100.0))
+        return self._markers[2]
+
+
+class StreamingPercentiles:
+    """A bank of :class:`P2Quantile` keyed like ``metrics.percentiles``."""
+
+    __slots__ = ("qs", "_estimators")
+
+    def __init__(self, qs=DEFAULT_QUANTILES) -> None:
+        qs = tuple(float(q) for q in qs)
+        if not qs:
+            raise ConfigurationError("need at least one percentile rank")
+        for q in qs:
+            if not 0.0 < q < 100.0:
+                raise ConfigurationError(
+                    f"percentile ranks must lie in (0, 100), got {q!r}"
+                )
+        self.qs = qs
+        self._estimators = [P2Quantile(q / 100.0) for q in qs]
+
+    def observe(self, value: float) -> None:
+        for estimator in self._estimators:
+            estimator.observe(value)
+
+    @property
+    def count(self) -> int:
+        return self._estimators[0].count
+
+    def values(self) -> dict[float, float]:
+        """``{rank: estimate}`` like :func:`~repro.evaluation.metrics.percentiles`
+        (``{}`` when nothing was observed, matching the empty-trace shape)."""
+        if self.count == 0:
+            return {}
+        return {q: estimator.value
+                for q, estimator in zip(self.qs, self._estimators)}
+
+
+class StreamingMean:
+    """Exact running count/sum/mean (mean 0.0 when nothing observed)."""
+
+    __slots__ = ("count", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += float(value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+
+class StreamingGoodput:
+    """Tokens from SLO-compliant requests, folded record by record.
+
+    Mirrors :func:`repro.evaluation.metrics.serving_goodput` (a request is
+    compliant when ``ttft <= ttft_slo_s`` and ``tpot <= tpot_slo_s``; a
+    ``None`` SLO leaves that dimension unconstrained) — but the judgment is
+    made when each record is observed, so the SLOs are fixed up front.
+    """
+
+    __slots__ = ("ttft_slo_s", "tpot_slo_s", "observed", "compliant",
+                 "good_tokens")
+
+    def __init__(self, ttft_slo_s: float | None = None,
+                 tpot_slo_s: float | None = None) -> None:
+        self.ttft_slo_s = ttft_slo_s
+        self.tpot_slo_s = tpot_slo_s
+        self.observed = 0
+        self.compliant = 0
+        self.good_tokens = 0
+
+    def observe(self, record: RequestRecord) -> None:
+        self.observed += 1
+        if self.ttft_slo_s is not None and record.ttft > self.ttft_slo_s:
+            return
+        if self.tpot_slo_s is not None and record.tpot > self.tpot_slo_s:
+            return
+        self.compliant += 1
+        self.good_tokens += record.output_len
+
+    def goodput(self, duration_s: float) -> float:
+        if duration_s <= 0:
+            return 0.0
+        return self.good_tokens / duration_s
+
+
+class StreamingTrace:
+    """Bounded-memory stand-in for :class:`~repro.serving.trace.ServingTrace`.
+
+    Selected by ``record_mode="streaming"`` on
+    :meth:`~repro.serving.engine.ContinuousBatchingEngine.serve` and
+    :meth:`~repro.cluster.group.ReplicaGroup.serve`.  Implements the same
+    summary surface — ``num_requests``, ``duration``, ``generated_tokens``,
+    ``throughput``, ``mean_queueing_delay``, ``*_percentiles``, ``goodput``,
+    ``summary`` — over O(1) state, so memory does not grow with trace
+    length.  There is deliberately no ``records`` attribute: anything that
+    needs per-request records needs ``record_mode="full"``.
+
+    ``quantiles=None`` disables percentile sketches entirely (the
+    percentile methods then return ``{}``); the cluster layer uses this for
+    its per-replica sinks, whose summaries only need counts and totals.
+    """
+
+    def __init__(self, system: str, model: str, metadata: dict | None = None,
+                 quantiles=DEFAULT_QUANTILES,
+                 ttft_slo_s: float | None = None,
+                 tpot_slo_s: float | None = None) -> None:
+        self.system = system
+        self.model = model
+        self.metadata = dict(metadata or {})
+        self.ttft_slo_s = ttft_slo_s
+        self.tpot_slo_s = tpot_slo_s
+        quantiles = tuple(quantiles) if quantiles else None
+        if quantiles is not None:
+            self._ttft = StreamingPercentiles(quantiles)
+            self._tpot = StreamingPercentiles(quantiles)
+            self._latency = StreamingPercentiles(quantiles)
+        else:
+            self._ttft = self._tpot = self._latency = None
+        self._quantiles = quantiles
+        self._count = 0
+        self._tokens = 0
+        self._duration = 0.0
+        self._queueing = StreamingMean()
+        self._goodput = StreamingGoodput(ttft_slo_s=ttft_slo_s,
+                                         tpot_slo_s=tpot_slo_s)
+
+    # ------------------------------------------------------------------ #
+    # record sink
+    # ------------------------------------------------------------------ #
+    def observe(self, record: RequestRecord) -> None:
+        """Fold one completed-request record into the running summary."""
+        self._count += 1
+        self._tokens += record.output_len
+        if record.completion_time > self._duration:
+            self._duration = record.completion_time
+        self._queueing.observe(record.queueing_delay)
+        self._goodput.observe(record)
+        if self._ttft is not None:
+            self._ttft.observe(record.ttft)
+            self._tpot.observe(record.tpot)
+            self._latency.observe(record.e2e_latency)
+
+    # ------------------------------------------------------------------ #
+    # aggregate metrics (ServingTrace surface)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_requests(self) -> int:
+        return self._count
+
+    @property
+    def duration(self) -> float:
+        """Makespan: serve start (t=0) to the last observed completion."""
+        return self._duration
+
+    @property
+    def generated_tokens(self) -> int:
+        return self._tokens
+
+    @property
+    def throughput(self) -> float:
+        if self._duration <= 0:
+            return 0.0
+        return self._tokens / self._duration
+
+    @property
+    def mean_queueing_delay(self) -> float:
+        return self._queueing.mean
+
+    def _percentiles(self, bank: StreamingPercentiles | None, qs) \
+            -> dict[float, float]:
+        if bank is None or self._count == 0:
+            return {}
+        values = bank.values()
+        missing = [q for q in qs if float(q) not in values]
+        if missing:
+            raise ConfigurationError(
+                f"streaming trace tracks percentiles {list(bank.qs)}; "
+                f"{missing} were not configured at construction"
+            )
+        return {float(q): values[float(q)] for q in qs}
+
+    def ttft_percentiles(self, qs=DEFAULT_QUANTILES) -> dict[float, float]:
+        return self._percentiles(self._ttft, qs)
+
+    def tpot_percentiles(self, qs=DEFAULT_QUANTILES) -> dict[float, float]:
+        return self._percentiles(self._tpot, qs)
+
+    def latency_percentiles(self, qs=DEFAULT_QUANTILES) -> dict[float, float]:
+        return self._percentiles(self._latency, qs)
+
+    def goodput(self, ttft_slo_s: float | None = None,
+                tpot_slo_s: float | None = None) -> float:
+        """SLO-conditioned token goodput for the SLOs fixed at construction.
+
+        The unconstrained case (both ``None``) needs no per-record state and
+        is always answerable; any other SLO pair must equal the one this
+        trace was built with, because compliance was judged as records
+        streamed by.
+        """
+        if ttft_slo_s is None and tpot_slo_s is None:
+            if self._duration <= 0:
+                return 0.0
+            return self._tokens / self._duration
+        if (ttft_slo_s, tpot_slo_s) != (self.ttft_slo_s, self.tpot_slo_s):
+            raise ConfigurationError(
+                f"streaming goodput was accumulated for SLOs "
+                f"(ttft={self.ttft_slo_s!r}, tpot={self.tpot_slo_s!r}); "
+                f"(ttft={ttft_slo_s!r}, tpot={tpot_slo_s!r}) would need the "
+                f"retained records (record_mode='full')"
+            )
+        return self._goodput.goodput(self._duration)
+
+    def summary(self) -> dict:
+        """Flat summary with the same keys as ``ServingTrace.summary()``."""
+        ttft = self.ttft_percentiles() if self._ttft is not None else {}
+        tpot = self.tpot_percentiles() if self._tpot is not None else {}
+        latency = (self.latency_percentiles()
+                   if self._latency is not None else {})
+        return {
+            "system": self.system,
+            "model": self.model,
+            "num_requests": self.num_requests,
+            "generated_tokens": self.generated_tokens,
+            "duration_s": self.duration,
+            "throughput_tokens_per_s": self.throughput,
+            "mean_queueing_delay_s": self.mean_queueing_delay,
+            "p50_ttft_s": ttft.get(50.0, 0.0),
+            "p90_ttft_s": ttft.get(90.0, 0.0),
+            "p99_ttft_s": ttft.get(99.0, 0.0),
+            "p50_tpot_s": tpot.get(50.0, 0.0),
+            "p99_tpot_s": tpot.get(99.0, 0.0),
+            "p50_latency_s": latency.get(50.0, 0.0),
+            "p99_latency_s": latency.get(99.0, 0.0),
+        }

@@ -83,6 +83,13 @@ class ServingTrace:
     def add_record(self, record: RequestRecord) -> None:
         self.records.append(record)
 
+    def observe(self, record: RequestRecord) -> None:
+        """Record-sink entry point shared with
+        :class:`~repro.serving.sketches.StreamingTrace` — the serving
+        engine writes completions through ``observe`` so either record
+        mode can sit behind it."""
+        self.records.append(record)
+
     # ------------------------------------------------------------------ #
     # aggregate metrics
     # ------------------------------------------------------------------ #

@@ -3,6 +3,7 @@
 from repro.workloads.arrivals import (
     ARRIVAL_PATTERNS,
     Request,
+    RequestStream,
     bursty_arrival_times,
     generate_requests,
     poisson_arrival_times,
@@ -40,6 +41,7 @@ __all__ = [
     "RecallSequence",
     "RecallTaskConfig",
     "Request",
+    "RequestStream",
     "Workload",
     "alpaca_batch_sweep",
     "bursty_arrival_times",

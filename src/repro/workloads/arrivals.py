@@ -173,3 +173,149 @@ def generate_requests(num_requests: int, rate: float,
                 input_len=int(inputs[i]), output_len=int(outputs[i]))
         for i in range(num_requests)
     ]
+
+
+class RequestStream:
+    """A bounded-memory, re-iterable arrival trace.
+
+    :func:`generate_requests` materializes its whole trace — fine for a
+    24-request sweep row, unusable for the ROADMAP's 10^6–10^7-request
+    cluster runs.  A ``RequestStream`` describes the same trace but yields
+    its :class:`Request` objects one at a time from chunked draws, so peak
+    memory is ``O(chunk_size)`` regardless of trace length.  Iterating
+    twice replays the identical trace (every ``__iter__`` restarts from the
+    stream's seed).
+
+    Determinism contract
+    --------------------
+    * ``poisson``/``bursty`` arrival times are **byte-identical** to
+      :func:`generate_requests`: NumPy ``Generator`` draws are chunk-
+      invariant, and each chunk's running ``cumsum`` is seeded with the
+      previous chunk's last arrival, reproducing the whole-trace
+      sequential float adds exactly.
+    * Fixed ``input_len``/``output_len`` traces therefore match
+      :func:`generate_requests` request-for-request.
+    * ShareGPT-style *sampled* lengths are drawn per chunk from seeds
+      derived as ``(seed + 1, chunk_index)`` — fully deterministic per
+      ``(seed, chunk_size)``, but **not** the same samples as the one-shot
+      :func:`sharegpt_lengths` (which draws all inputs before all outputs,
+      an ordering no chunked sampler can reproduce).
+
+    Only the built-in ``"poisson"``/``"bursty"`` patterns can stream
+    (custom :data:`ARRIVAL_PATTERNS` entries are whole-trace functions);
+    use :func:`generate_requests` for those.
+
+    ``length_bounds`` gives ``(max_input_len, max_output_len)`` over every
+    request the stream can yield — the serving engine sizes its KV-budget
+    probe from these, exactly as it sizes it from a list's maxima.
+    """
+
+    def __init__(self, num_requests: int, rate: float,
+                 pattern: str = "poisson", seed: int | None = 0,
+                 input_len: int | None = None,
+                 output_len: int | None = None,
+                 chunk_size: int = 8192,
+                 burst_size: int = 8, burst_factor: float = 8.0,
+                 **length_kwargs) -> None:
+        validate_positive(num_requests=num_requests, rate=rate,
+                          chunk_size=chunk_size, burst_size=burst_size)
+        if pattern not in ("poisson", "bursty"):
+            raise ConfigurationError(
+                f"RequestStream supports the built-in patterns "
+                f"['bursty', 'poisson']; got {pattern!r} — materialize "
+                f"custom patterns with generate_requests instead"
+            )
+        if burst_factor <= 1.0:
+            raise ConfigurationError(
+                f"burst_factor must exceed 1, got {burst_factor!r}"
+            )
+        self.num_requests = num_requests
+        self.rate = rate
+        self.pattern = pattern
+        self.seed = seed
+        self.input_len = input_len
+        self.output_len = output_len
+        self.chunk_size = chunk_size
+        self.burst_size = burst_size
+        self.burst_factor = burst_factor
+        self._length_kwargs = dict(length_kwargs)
+        # sharegpt_lengths clips to [1, max_len]; fixed lengths bound
+        # themselves.
+        max_len = self._length_kwargs.get("max_len", 2048)
+        self._max_input = input_len if input_len is not None else max_len
+        self._max_output = output_len if output_len is not None else max_len
+
+    # ------------------------------------------------------------------ #
+    @property
+    def length_bounds(self) -> tuple[int, int]:
+        """``(max_input_len, max_output_len)`` over the whole stream."""
+        return self._max_input, self._max_output
+
+    def __len__(self) -> int:
+        return self.num_requests
+
+    def __iter__(self):
+        index = 0
+        for chunk_index, times in enumerate(self._time_chunks()):
+            inputs, outputs = self._chunk_lengths(chunk_index, len(times))
+            for offset in range(len(times)):
+                yield Request(request_id=index,
+                              arrival_time=float(times[offset]),
+                              input_len=int(inputs[offset]),
+                              output_len=int(outputs[offset]))
+                index += 1
+
+    # ------------------------------------------------------------------ #
+    def _time_chunks(self):
+        """Yield absolute arrival times, one ``chunk_size`` array at a time."""
+        generator = rng(self.seed)
+        if self.pattern == "poisson":
+            clock = 0.0
+            remaining = self.num_requests
+            while remaining:
+                size = min(self.chunk_size, remaining)
+                gaps = generator.exponential(1.0 / self.rate, size=size)
+                # Seeding the cumsum with the previous chunk's last arrival
+                # reproduces the whole-trace sequential adds bit-for-bit.
+                times = np.cumsum(np.concatenate(((clock,), gaps)))[1:]
+                clock = float(times[-1])
+                remaining -= size
+                yield times
+            return
+        chunk: list[float] = []
+        for time in self._bursty_times(generator):
+            chunk.append(time)
+            if len(chunk) == self.chunk_size:
+                yield np.asarray(chunk)
+                chunk = []
+        if chunk:
+            yield np.asarray(chunk)
+
+    def _bursty_times(self, generator):
+        """Scalar-draw replay of :func:`bursty_arrival_times` (same seed,
+        same draws, O(1) state)."""
+        produced = 0
+        clock = 0.0
+        while produced < self.num_requests:
+            burst = min(self.burst_size, self.num_requests - produced)
+            for _ in range(burst):
+                clock += generator.exponential(
+                    1.0 / (self.rate * self.burst_factor))
+                yield clock
+            produced += burst
+            clock += generator.exponential(
+                (self.burst_factor - 1.0) * burst
+                / (self.rate * self.burst_factor))
+
+    def _chunk_lengths(self, chunk_index: int, size: int):
+        if self.input_len is not None and self.output_len is not None:
+            return (np.full(size, self.input_len, dtype=int),
+                    np.full(size, self.output_len, dtype=int))
+        seed = None if self.seed is None else (self.seed + 1, chunk_index)
+        inputs, outputs = sharegpt_lengths(size, seed=seed,
+                                           **self._length_kwargs)
+        if self.input_len is not None:
+            inputs = np.full(size, self.input_len, dtype=int)
+        if self.output_len is not None:
+            outputs = np.full(size, self.output_len, dtype=int)
+        return inputs, outputs

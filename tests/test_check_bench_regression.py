@@ -1,0 +1,114 @@
+"""Tests for tools/check_bench_regression.py (the CI perf gate)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOL = Path(__file__).resolve().parent.parent / "tools" / \
+    "check_bench_regression.py"
+spec = importlib.util.spec_from_file_location("check_bench_regression", TOOL)
+gate = importlib.util.module_from_spec(spec)
+sys.modules["check_bench_regression"] = gate
+spec.loader.exec_module(gate)
+
+
+def bench_json(tmp_path, name, means):
+    """Write a minimal pytest-benchmark JSON and return its path."""
+    payload = {"benchmarks": [{"name": bench, "stats": {"mean": mean}}
+                              for bench, mean in means.items()]}
+    path = tmp_path / f"{name}.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def run_gate(current, baseline, *extra):
+    return gate.main(["--current", current, "--baseline", baseline, *extra])
+
+
+class TestGate:
+    def test_passes_within_allowed_regression(self, tmp_path, capsys):
+        baseline = bench_json(tmp_path, "base", {"test_a": 1.0, "test_b": 2.0})
+        current = bench_json(tmp_path, "cur", {"test_a": 1.1, "test_b": 2.0})
+        assert run_gate(current, baseline, "--max-regression", "0.20") == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_fails_beyond_allowed_regression(self, tmp_path, capsys):
+        baseline = bench_json(tmp_path, "base", {"test_a": 1.0})
+        current = bench_json(tmp_path, "cur", {"test_a": 1.5})
+        assert run_gate(current, baseline, "--max-regression", "0.20") == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_benchmark_fails(self, tmp_path, capsys):
+        baseline = bench_json(tmp_path, "base", {"test_a": 1.0, "test_b": 1.0})
+        current = bench_json(tmp_path, "cur", {"test_a": 1.0})
+        assert run_gate(current, baseline) == 1
+        assert "missing from current run" in capsys.readouterr().err
+
+    def test_new_benchmarks_are_not_gated(self, tmp_path, capsys):
+        baseline = bench_json(tmp_path, "base", {"test_a": 1.0})
+        current = bench_json(tmp_path, "cur", {"test_a": 1.0, "test_new": 9.0})
+        assert run_gate(current, baseline) == 0
+        assert "not gated" in capsys.readouterr().out
+
+
+class TestCalibration:
+    def test_calibration_normalizes_machine_speed(self, tmp_path):
+        # Current machine runs everything 2x slower — including the
+        # calibration probe — so normalized times are unchanged and the
+        # gate passes despite the raw 2x "regression".
+        baseline = bench_json(tmp_path, "base",
+                              {"test_a": 1.0, "test_calibration_probe": 0.5})
+        current = bench_json(tmp_path, "cur",
+                             {"test_a": 2.0, "test_calibration_probe": 1.0})
+        assert run_gate(current, baseline, "--calibrate", "calibration") == 0
+
+    def test_real_regression_survives_calibration(self, tmp_path):
+        # Machine is 2x slower but test_a is 4x slower: 2x normalized.
+        baseline = bench_json(tmp_path, "base",
+                              {"test_a": 1.0, "test_calibration_probe": 0.5})
+        current = bench_json(tmp_path, "cur",
+                             {"test_a": 4.0, "test_calibration_probe": 1.0})
+        assert run_gate(current, baseline, "--calibrate", "calibration") == 1
+
+    def test_calibration_benchmark_itself_is_not_gated(self, tmp_path):
+        # The probe moved 4x (machine speed), every real benchmark moved
+        # with it; the probe's own ratio must not fail the gate.
+        baseline = bench_json(tmp_path, "base",
+                              {"test_a": 1.0, "test_calibration_probe": 0.25})
+        current = bench_json(tmp_path, "cur",
+                             {"test_a": 4.0, "test_calibration_probe": 1.0})
+        assert run_gate(current, baseline, "--calibrate", "calibration") == 0
+
+    def test_missing_calibration_benchmark_aborts(self, tmp_path):
+        baseline = bench_json(tmp_path, "base", {"test_a": 1.0})
+        current = bench_json(tmp_path, "cur", {"test_a": 1.0})
+        with pytest.raises(SystemExit, match="no calibration benchmark"):
+            run_gate(current, baseline, "--calibrate", "calibration")
+
+
+class TestStaleBaselines:
+    def test_improvement_flags_but_passes_by_default(self, tmp_path, capsys):
+        baseline = bench_json(tmp_path, "base", {"test_a": 2.0})
+        current = bench_json(tmp_path, "cur", {"test_a": 1.0})
+        assert run_gate(current, baseline) == 0
+        out = capsys.readouterr().out
+        assert "stale baselines detected" in out
+        assert "IMPROVEMENT" in out
+
+    def test_fail_on_improvement(self, tmp_path, capsys):
+        baseline = bench_json(tmp_path, "base", {"test_a": 2.0})
+        current = bench_json(tmp_path, "cur", {"test_a": 1.0})
+        assert run_gate(current, baseline, "--fail-on-improvement") == 1
+        assert "stale baselines" in capsys.readouterr().err
+
+    def test_improvement_threshold_overrides_max_regression(self, tmp_path):
+        baseline = bench_json(tmp_path, "base", {"test_a": 1.3})
+        current = bench_json(tmp_path, "cur", {"test_a": 1.0})
+        # ~23% faster: stale under the default (20%) threshold...
+        assert run_gate(current, baseline, "--fail-on-improvement") == 1
+        # ...but fresh enough under a 40% threshold.
+        assert run_gate(current, baseline, "--fail-on-improvement",
+                        "--improvement-threshold", "0.40") == 0

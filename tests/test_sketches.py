@@ -1,0 +1,177 @@
+"""Tests for repro.serving.sketches: P² quantiles and streaming traces."""
+
+import numpy as np
+import pytest
+
+from repro._common import ConfigurationError
+from repro.serving.sketches import (
+    DEFAULT_QUANTILES,
+    P2Quantile,
+    StreamingGoodput,
+    StreamingMean,
+    StreamingPercentiles,
+    StreamingTrace,
+)
+from repro.serving.trace import RequestRecord, ServingTrace
+
+
+def record(request_id, arrival, admission, first, completion,
+           input_len=64, output_len=32):
+    return RequestRecord(request_id=request_id, arrival_time=arrival,
+                         admission_time=admission, first_token_time=first,
+                         completion_time=completion, input_len=input_len,
+                         output_len=output_len)
+
+
+class TestP2Quantile:
+    def test_validates_quantile_range(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                P2Quantile(bad)
+
+    def test_empty_estimator_raises(self):
+        with pytest.raises(ConfigurationError):
+            P2Quantile(0.5).value
+
+    def test_small_samples_are_exact(self):
+        # Below five observations the estimator holds the raw values, so it
+        # must agree with numpy's linear-interpolation percentile exactly.
+        values = [3.0, 1.0, 4.0, 1.5]
+        estimator = P2Quantile(0.9)
+        for index, value in enumerate(values):
+            estimator.observe(value)
+            expected = np.percentile(values[:index + 1], 90)
+            assert estimator.value == pytest.approx(expected, abs=1e-12)
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    @pytest.mark.parametrize("seed,sampler", [
+        (0, lambda rng, n: rng.normal(10.0, 2.0, n)),
+        (1, lambda rng, n: rng.exponential(3.0, n)),
+        (2, lambda rng, n: rng.lognormal(0.0, 1.0, n)),
+    ])
+    def test_tracks_numpy_percentile_on_large_samples(self, q, seed, sampler):
+        rng = np.random.default_rng(seed)
+        values = sampler(rng, 5000)
+        estimator = P2Quantile(q)
+        for value in values:
+            estimator.observe(float(value))
+        exact = np.percentile(values, q * 100)
+        spread = np.percentile(values, 99) - np.percentile(values, 1)
+        # P² is an approximation; a few percent of the distribution's
+        # spread is the accuracy class the original paper reports.
+        assert abs(estimator.value - exact) < 0.05 * spread
+
+    def test_monotone_input_is_tracked_closely(self):
+        estimator = P2Quantile(0.5)
+        for value in range(1, 1001):
+            estimator.observe(float(value))
+        assert estimator.value == pytest.approx(500.5, rel=0.02)
+
+
+class TestStreamingPercentiles:
+    def test_values_keys_are_floats(self):
+        bank = StreamingPercentiles((50, 90, 99))
+        assert bank.values() == {}
+        for value in (1.0, 2.0, 3.0):
+            bank.observe(value)
+        assert set(bank.values()) == {50.0, 90.0, 99.0}
+
+    def test_rejects_out_of_range_ranks(self):
+        with pytest.raises(ConfigurationError):
+            StreamingPercentiles((0,))
+        with pytest.raises(ConfigurationError):
+            StreamingPercentiles((100,))
+
+
+class TestStreamingMeanAndGoodput:
+    def test_mean_matches_running_average(self):
+        mean = StreamingMean()
+        assert mean.mean == 0.0
+        values = [2.0, 4.0, 9.0]
+        for value in values:
+            mean.observe(value)
+        assert mean.mean == pytest.approx(np.mean(values))
+        assert mean.count == 3
+
+    def test_goodput_counts_only_compliant_tokens(self):
+        goodput = StreamingGoodput(ttft_slo_s=1.0, tpot_slo_s=0.1)
+        # Compliant: ttft 0.5 <= 1.0, tpot (2.0-0.5)/(31) ~ 0.048 <= 0.1.
+        goodput.observe(record(0, 0.0, 0.0, 0.5, 2.0, output_len=32))
+        # TTFT violation: first token 5s after arrival.
+        goodput.observe(record(1, 0.0, 0.0, 5.0, 6.0, output_len=32))
+        assert goodput.goodput(10.0) == pytest.approx(32 / 10.0)
+        assert goodput.goodput(0.0) == 0.0
+
+
+class TestStreamingTrace:
+    def serve_records(self):
+        return [record(i, float(i), float(i), float(i) + 0.5,
+                       float(i) + 2.0, output_len=16 + i)
+                for i in range(50)]
+
+    def full_and_streaming(self, **kwargs):
+        full = ServingTrace(system="sys", model="m")
+        stream = StreamingTrace(system="sys", model="m", **kwargs)
+        for rec in self.serve_records():
+            full.observe(rec)
+            stream.observe(rec)
+        return full, stream
+
+    def test_exact_aggregates_match_retained_trace(self):
+        full, stream = self.full_and_streaming()
+        assert stream.num_requests == full.num_requests
+        assert stream.generated_tokens == full.generated_tokens
+        assert stream.duration == full.duration
+        assert stream.throughput == full.throughput
+        assert stream.mean_queueing_delay == full.mean_queueing_delay
+        assert stream.goodput() == full.goodput()
+
+    def test_summary_has_identical_keys(self):
+        full, stream = self.full_and_streaming()
+        assert set(stream.summary()) == set(full.summary())
+
+    def test_percentiles_are_close_on_modest_traces(self):
+        full, stream = self.full_and_streaming()
+        for key in ("p50_ttft_s", "p99_latency_s", "p50_tpot_s"):
+            assert stream.summary()[key] == \
+                pytest.approx(full.summary()[key], rel=0.15, abs=1e-3)
+
+    def test_quantiles_disabled_returns_empty(self):
+        _, stream = self.full_and_streaming(quantiles=())
+        assert stream.ttft_percentiles() == {}
+        assert stream.tpot_percentiles() == {}
+        assert stream.latency_percentiles() == {}
+        summary = stream.summary()
+        assert summary["p50_ttft_s"] == 0.0
+        assert summary["num_requests"] == 50
+
+    def test_unconfigured_percentile_rank_raises(self):
+        _, stream = self.full_and_streaming()
+        assert set(stream.ttft_percentiles()) == \
+            {float(q) for q in DEFAULT_QUANTILES}
+        with pytest.raises(ConfigurationError):
+            stream.ttft_percentiles(qs=(75,))
+
+    def test_goodput_slos_fixed_at_construction(self):
+        _, stream = self.full_and_streaming(ttft_slo_s=1.0, tpot_slo_s=0.5)
+        assert stream.goodput(ttft_slo_s=1.0, tpot_slo_s=0.5) >= 0.0
+        assert stream.goodput() == stream.throughput
+        with pytest.raises(ConfigurationError):
+            stream.goodput(ttft_slo_s=2.0, tpot_slo_s=0.5)
+
+    def test_goodput_without_slos_configured_raises(self):
+        _, stream = self.full_and_streaming()
+        with pytest.raises(ConfigurationError):
+            stream.goodput(ttft_slo_s=1.0, tpot_slo_s=0.5)
+
+    def test_empty_streaming_trace_is_safe(self):
+        stream = StreamingTrace(system="sys", model="m")
+        assert stream.num_requests == 0
+        assert stream.duration == 0.0
+        assert stream.throughput == 0.0
+        assert stream.mean_queueing_delay == 0.0
+        assert stream.goodput() == 0.0
+        assert stream.ttft_percentiles() == {}
+        summary = stream.summary()
+        assert summary["num_requests"] == 0
+        assert summary["p99_ttft_s"] == 0.0
