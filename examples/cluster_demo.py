@@ -10,6 +10,13 @@ replicas share the load.  A second sweep holds the cluster fixed and
 compares routing policies on a bursty ShareGPT-style trace, where
 join-shortest-queue sustains a higher arrival rate than blind round-robin.
 
+A session section (:func:`session_section`, importable — the snippet in
+``docs/workloads.md`` runs it small in CI) serves a multi-turn chat mix
+with interactive and batch tiers through the cluster, comparing
+session-affinity routing (every turn lands where its prefix KV lives)
+against plain JSQ, and reporting per-class goodput plus the prefix-cache
+hit rate.
+
 A final section serves a 50,000-request stream through the cluster in
 ``record_mode="streaming"`` — the bounded-memory event-driven path that
 scales to the million-request benchmark row
@@ -28,6 +35,7 @@ from repro.experiments import run_experiment
 from repro.experiments.serving import max_sustained_rate
 from repro.hardware.presets import V100_16GB_NODE
 from repro.workloads.arrivals import RequestStream
+from repro.workloads.sessions import sessions
 
 LAYOUTS = ("tp-4", "2x(tp-2)", "4x(tp-1)")
 LAYOUT_COLUMNS = ("p99_ttft_s", "mean_queueing_delay_s",
@@ -35,6 +43,60 @@ LAYOUT_COLUMNS = ("p99_ttft_s", "mean_queueing_delay_s",
 ROUTING = ("round-robin", "jsq", "least-loaded")
 ROUTING_COLUMNS = ("mean_queueing_delay_s", "p99_ttft_s",
                    "tokens_imbalance")
+
+#: Per-class (TTFT, TPOT) SLOs for the session section: chat turns must
+#: start fast; batch jobs only need to finish eventually.
+SESSION_SLOS = {"interactive": (2.0, 0.1), "batch": (20.0, 1.0)}
+
+
+def session_section(num_sessions: int = 32, rate: float = 6.0,
+                    num_replicas: int = 2, seed: int = 0,
+                    quiet: bool = False) -> dict:
+    """Serve a ShareGPT-shaped session mix through a replica cluster.
+
+    Builds a ``num_replicas``-way single-GPU vLLM cluster, lowers a
+    multi-turn session workload (half interactive chat, half batch jobs)
+    to a request trace, and serves it twice — once with session-affinity
+    routing, once with plain JSQ — printing per-class goodput and the
+    prefix-cache hit rate each way.  Returns the session-affinity serve's
+    summary dict (plus ``prefix_hit_rate_jsq``) so callers — including
+    the ``docs/workloads.md`` snippet that runs this function small in
+    CI — can assert on it.
+    """
+    workload = sessions(num_sessions, rate, seed=seed,
+                        interactive_fraction=0.5, mean_turns=3.0,
+                        max_context=1024, mean_new_input=48, mean_output=64)
+    requests = workload.requests()
+    group = ReplicaGroup.from_layout(
+        lambda node, parallelism: VLLMSystem("opt-6.7b", node,
+                                             parallelism=parallelism),
+        f"{num_replicas}x(none)", V100_16GB_NODE)
+
+    def serve(policy):
+        return group.serve(requests, policy=policy, seed=seed,
+                           class_slos=SESSION_SLOS)
+
+    sticky, scattered = serve("session-affinity"), serve("jsq")
+    if not quiet:
+        print(f"\n# Sessions: {num_sessions} conversations "
+              f"({len(requests)} turns) through {num_replicas} vLLM "
+              "replicas, interactive vs batch tiers")
+        print(f"{'routing':>18s} {'prefix_hit_rate':>16s} "
+              f"{'goodput_int':>12s} {'goodput_batch':>14s}")
+        for policy, trace in (("session-affinity", sticky),
+                              ("jsq", scattered)):
+            per_class = trace.per_class_summary(SESSION_SLOS)
+            print(f"{policy:>18s} {trace.prefix_hit_rate:>16.3f} "
+                  f"{per_class['interactive']['goodput_tokens_per_s']:>12.1f}"
+                  f" {per_class['batch']['goodput_tokens_per_s']:>14.1f}")
+        print("(Session-affinity pins every turn to the replica holding "
+              "its prefix KV, so follow-up turns pay suffix-only prefill; "
+              "JSQ scatters turns and the prefix cache misses whenever a "
+              "conversation hops replicas.)")
+    summary = sticky.summary()
+    summary["per_class"] = sticky.per_class_summary(SESSION_SLOS)
+    summary["prefix_hit_rate_jsq"] = scattered.prefix_hit_rate
+    return summary
 
 
 def main() -> None:
@@ -80,6 +142,11 @@ def main() -> None:
           "conversations pile onto one replica during bursts; JSQ watches "
           "outstanding KV tokens — the admission currency — and drains "
           "both replicas.)")
+
+    # ------------------------------------------------------------------ #
+    # multi-turn sessions: prefix reuse and SLO tiers across replicas
+    # ------------------------------------------------------------------ #
+    session_section()
 
     # ------------------------------------------------------------------ #
     # streaming record mode: large traces in bounded memory

@@ -224,6 +224,7 @@ class ReplicaGroup:
               seed: int | None = None, record_mode: str = "full",
               ttft_slo_s: float | None = None,
               tpot_slo_s: float | None = None,
+              class_slos: dict | None = None,
               event_journal: list | None = None):
         """Serve ``requests`` through one merged event stream.
 
@@ -238,7 +239,8 @@ class ReplicaGroup:
         ``record_mode="full"`` returns a :class:`ClusterTrace` with one
         record per request; ``"streaming"`` a
         :class:`~repro.cluster.trace.StreamingClusterTrace` in O(1) memory
-        whose goodput SLOs are fixed by ``ttft_slo_s``/``tpot_slo_s``.
+        whose goodput SLOs are fixed by ``ttft_slo_s``/``tpot_slo_s`` (and,
+        per SLO class, by ``class_slos``).
         ``metadata["routing"]`` records the policy, seed, and per-replica
         dispatch counts, ``metadata["replicas"]`` the per-replica
         breakdowns.  ``event_journal``, when given, receives every
@@ -296,7 +298,8 @@ class ReplicaGroup:
         if streaming:
             cluster_trace = StreamingClusterTrace(
                 system=simulator.name, model=simulator.config.name,
-                ttft_slo_s=ttft_slo_s, tpot_slo_s=tpot_slo_s)
+                ttft_slo_s=ttft_slo_s, tpot_slo_s=tpot_slo_s,
+                class_slos=class_slos)
             observer = cluster_trace.observe
         runs = []
         for engine, share in zip(self.engines, share_bounds):

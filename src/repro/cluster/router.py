@@ -18,7 +18,14 @@ Policies (:data:`ROUTING_POLICIES`):
 * ``"least-loaded"`` — by *estimated completion time*: each replica's
   backlog is modelled as a single-server queue that drains one request's
   estimated service time after another; the request joins the replica that
-  would finish it earliest.
+  would finish it earliest;
+* ``"session-affinity"`` — sticky sessions: every turn of a multi-turn
+  session (:mod:`repro.workloads.sessions`) is pinned to the replica its
+  first turn joined, so the engine-level prefix cache can actually hit —
+  a session's retained KV lives on one replica only.  Sessions are placed
+  (and plain sessionless requests routed) by the ``"jsq"`` rule; the pin
+  is dropped when a session's final turn is dispatched, keeping router
+  state bounded by the *active* session count.
 
 Determinism: every policy is a pure function of the dispatch history, and
 ties are broken by a preference order drawn once from the router's seed
@@ -35,7 +42,7 @@ from repro._common import ConfigurationError, rng, validate_positive
 from repro.workloads.arrivals import Request
 
 #: Dispatch policies understood by :class:`Router`.
-ROUTING_POLICIES = ("round-robin", "jsq", "least-loaded")
+ROUTING_POLICIES = ("round-robin", "jsq", "least-loaded", "session-affinity")
 
 
 @dataclass
@@ -87,6 +94,8 @@ class Router:
                             for rank in rng(seed).permutation(num_replicas)]
         self._loads = [_ReplicaLoad() for _ in range(num_replicas)]
         self._rr_next = 0
+        #: session-affinity pins: ``session_id -> replica index``.
+        self._sessions: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     def assign(self, request: Request,
@@ -109,6 +118,19 @@ class Router:
         elif self.policy == "jsq":
             index = self._argmin(
                 lambda i: self._loads[i].outstanding_tokens(clock))
+        elif self.policy == "session-affinity":
+            session_id = getattr(request, "session_id", None)
+            index = self._sessions.get(session_id) if session_id is not None \
+                else None
+            if index is None:
+                # New session (or a plain request): place by JSQ.
+                index = self._argmin(
+                    lambda i: self._loads[i].outstanding_tokens(clock))
+            if session_id is not None:
+                if getattr(request, "final_turn", True):
+                    self._sessions.pop(session_id, None)
+                else:
+                    self._sessions[session_id] = index
         else:  # least-loaded
             index = self._argmin(
                 lambda i: max(clock, self._loads[i].busy_until)

@@ -96,10 +96,11 @@ class StreamingClusterTrace(StreamingTrace):
                  quantiles=DEFAULT_QUANTILES,
                  ttft_slo_s: float | None = None,
                  tpot_slo_s: float | None = None,
+                 class_slos: dict | None = None,
                  replica_traces: list[StreamingTrace] | None = None) -> None:
         super().__init__(system, model, metadata=metadata,
                          quantiles=quantiles, ttft_slo_s=ttft_slo_s,
-                         tpot_slo_s=tpot_slo_s)
+                         tpot_slo_s=tpot_slo_s, class_slos=class_slos)
         self.replica_traces: list[StreamingTrace] = list(replica_traces or [])
 
     @property

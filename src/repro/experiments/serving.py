@@ -107,11 +107,32 @@ def serving_rate_sweep(model: str = "opt-6.7b",
                        cluster: tuple[str, ...] | None = None,
                        routing: tuple[str, ...] | str | None = None,
                        require_equal_gpus: bool = True,
-                       record_mode: str = "full") -> ExperimentResult:
+                       record_mode: str = "full",
+                       workload=None,
+                       slo_classes: dict | None = None,
+                       preemption: str | None = None) -> ExperimentResult:
     """Sweep the request arrival rate and report serving metrics.
 
     ``input_len``/``output_len`` of ``None`` sample ShareGPT-style
     heavy-tailed lengths instead of the fixed Alpaca-like shape.
+
+    ``workload`` swaps the synthetic single-shot arrivals for a workload
+    object carrying its own request generator — anything with
+    ``with_rate(rate)`` returning a generator whose ``requests()`` yields
+    the trace, i.e. a :func:`repro.workloads.sessions` multi-turn session
+    trace.  Each swept rate re-derives the workload at that rate with the
+    same seed, and ``input_len``/``output_len``/``pattern`` are ignored in
+    favour of the workload's own shape.  Session traces light up the
+    engine's prefix-reuse accounting; every row then reports a non-trivial
+    ``prefix_hit_rate``.
+
+    ``slo_classes`` (e.g. ``{"interactive": (2.0, 0.1)}``) adds one
+    ``goodput_<class>_tokens_per_s`` column per configured class, computed
+    against that class's own TTFT/TPOT SLOs.  ``preemption`` (``"retain"``
+    or ``"recompute"``) builds every engine with priority scheduling:
+    interactive arrivals may evict running batch requests at epoch
+    boundaries (see ``ContinuousBatchingEngine``); incompatible with
+    ``exact_stepping=True``.
 
     ``parallelism`` entries (``"none"``, ``"tp-2"``, ``"pp-4"``, ...) are
     served on an ``xN`` node derived from the model's preset at equal
@@ -174,7 +195,8 @@ def serving_rate_sweep(model: str = "opt-6.7b",
             cluster=cluster, routing=routing,
             pp_microbatches=pp_microbatches,
             require_equal_gpus=require_equal_gpus,
-            record_mode=record_mode)
+            record_mode=record_mode, workload=workload,
+            slo_classes=slo_classes, preemption=preemption)
     engines: dict[tuple[str, str], ContinuousBatchingEngine] = {}
     specs: dict[str, ParallelismSpec] = {}
     for entry in parallelism:
@@ -185,16 +207,16 @@ def serving_rate_sweep(model: str = "opt-6.7b",
             simulator = _build_simulator(system_name, build, model, hardware,
                                          spec, policy, exact_stepping)
             engines[(spec.label, system_name)] = \
-                ContinuousBatchingEngine(simulator)
+                ContinuousBatchingEngine(simulator, preemption=preemption)
     for rate in rates:
-        requests = generate_requests(num_requests, rate, pattern=pattern,
-                                     seed=seed, input_len=input_len,
-                                     output_len=output_len)
+        requests = _rate_requests(rate, workload, num_requests, pattern, seed,
+                                  input_len, output_len)
         for (label, system_name), engine in engines.items():
             spec = specs[label]
             trace = engine.serve(requests, record_mode=record_mode,
                                  ttft_slo_s=ttft_slo_s,
-                                 tpot_slo_s=tpot_slo_s)
+                                 tpot_slo_s=tpot_slo_s,
+                                 class_slos=slo_classes)
             summary = trace.summary()
             solver = trace.metadata.get("scheduler", {})
             shards = trace.metadata["shards"]
@@ -220,6 +242,9 @@ def serving_rate_sweep(model: str = "opt-6.7b",
                     (shard["peak_occupancy"] for shard in shards),
                     default=0.0),
                 comm_time_share=trace.metadata["comm_time_share"],
+                prefix_hit_rate=summary["prefix_hit_rate"],
+                num_preemptions=summary["num_preemptions"],
+                **_per_class_columns(trace, slo_classes),
                 **{f"solver_{name}": solver.get(name, 0)
                    for name in SOLVER_STAT_COLUMNS},
             )
@@ -230,11 +255,44 @@ def serving_rate_sweep(model: str = "opt-6.7b",
     result.notes["record_mode"] = record_mode
     result.notes["parallelism"] = tuple(specs)
     result.notes["interconnect"] = link.name
-    result.notes["lengths"] = (
-        "sharegpt" if input_len is None or output_len is None
-        else f"fixed s={input_len} n={output_len}"
-    )
+    _note_workload(result, workload, slo_classes, preemption,
+                   input_len, output_len)
     return result
+
+
+def _rate_requests(rate, workload, num_requests, pattern, seed,
+                   input_len, output_len):
+    """The request trace one swept rate serves (shared by both axes)."""
+    if workload is not None:
+        return workload.with_rate(rate).requests()
+    return generate_requests(num_requests, rate, pattern=pattern, seed=seed,
+                             input_len=input_len, output_len=output_len)
+
+
+def _per_class_columns(trace, slo_classes) -> dict:
+    """``goodput_<class>_tokens_per_s`` columns for configured classes."""
+    if not slo_classes:
+        return {}
+    per_class = trace.per_class_summary(slo_classes)
+    return {f"goodput_{name}_tokens_per_s":
+            per_class.get(name, {}).get("goodput_tokens_per_s", 0.0)
+            for name in sorted(slo_classes)}
+
+
+def _note_workload(result, workload, slo_classes, preemption,
+                   input_len, output_len) -> None:
+    """Workload/SLO-class notes shared by both sweep axes."""
+    result.notes["workload"] = ("sessions" if workload is not None
+                                else "single-shot")
+    result.notes["slo_classes"] = (dict(slo_classes) if slo_classes else None)
+    result.notes["preemption"] = preemption
+    if workload is not None:
+        result.notes["lengths"] = "sessions"
+    else:
+        result.notes["lengths"] = (
+            "sharegpt" if input_len is None or output_len is None
+            else f"fixed s={input_len} n={output_len}"
+        )
 
 
 def _build_simulator(system_name, build, model, node, parallelism,
@@ -260,7 +318,8 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
                         input_len, output_len, seed, ttft_slo_s, tpot_slo_s,
                         exact_schedules, exact_stepping, cluster, routing,
                         pp_microbatches, require_equal_gpus,
-                        record_mode="full") -> ExperimentResult:
+                        record_mode="full", workload=None, slo_classes=None,
+                        preemption=None) -> ExperimentResult:
     """Cluster-axis body of :func:`serving_rate_sweep`.
 
     One :class:`ReplicaGroup` per (cluster entry, system), reused across
@@ -294,19 +353,19 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
         for system_name, build in SERVING_SYSTEMS.items():
             groups[(label, system_name)] = ReplicaGroup.from_layout(
                 factory_for(system_name, build), layout, base_hardware,
-                interconnect=link, seed=seed)
+                interconnect=link, seed=seed, preemption=preemption)
 
     for rate in rates:
-        requests = generate_requests(num_requests, rate, pattern=pattern,
-                                     seed=seed, input_len=input_len,
-                                     output_len=output_len)
+        requests = _rate_requests(rate, workload, num_requests, pattern,
+                                  seed, input_len, output_len)
         for (label, system_name), group in groups.items():
             layout = layouts[label]
             for route_policy in policies:
                 trace = group.serve(requests, policy=route_policy, seed=seed,
                                     record_mode=record_mode,
                                     ttft_slo_s=ttft_slo_s,
-                                    tpot_slo_s=tpot_slo_s)
+                                    tpot_slo_s=tpot_slo_s,
+                                    class_slos=slo_classes)
                 summary = trace.summary()
                 solver = trace.metadata.get("scheduler", {})
                 result.add(
@@ -332,6 +391,9 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
                     tokens_imbalance=summary["tokens_imbalance"],
                     dispatch_counts=tuple(
                         trace.metadata["routing"]["dispatch_counts"]),
+                    prefix_hit_rate=summary["prefix_hit_rate"],
+                    num_preemptions=summary["num_preemptions"],
+                    **_per_class_columns(trace, slo_classes),
                     **{f"solver_{name}": solver.get(name, 0)
                        for name in SOLVER_STAT_COLUMNS},
                 )
@@ -344,8 +406,6 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
     result.notes["routing"] = policies
     result.notes["interconnect"] = link.name
     result.notes["seed"] = seed
-    result.notes["lengths"] = (
-        "sharegpt" if input_len is None or output_len is None
-        else f"fixed s={input_len} n={output_len}"
-    )
+    _note_workload(result, workload, slo_classes, preemption,
+                   input_len, output_len)
     return result

@@ -11,7 +11,11 @@ event heap instead of a global clock loop, so arrival traces can be lazy
 :class:`~repro.workloads.arrivals.RequestStream` iterators of any length.
 """
 
-from repro.serving.engine import ContinuousBatchingEngine, EngineRun
+from repro.serving.engine import (
+    PREEMPTION_MODES,
+    ContinuousBatchingEngine,
+    EngineRun,
+)
 from repro.serving.events import drive
 from repro.serving.sketches import (
     DEFAULT_QUANTILES,
@@ -21,11 +25,16 @@ from repro.serving.sketches import (
     StreamingPercentiles,
     StreamingTrace,
 )
-from repro.serving.trace import RequestRecord, ServingTrace
+from repro.serving.trace import (
+    RequestRecord,
+    ServingTrace,
+    normalize_class_slos,
+)
 from repro.workloads.arrivals import Request, RequestStream
 
 __all__ = [
     "DEFAULT_QUANTILES",
+    "PREEMPTION_MODES",
     "ContinuousBatchingEngine",
     "EngineRun",
     "P2Quantile",
@@ -38,4 +47,5 @@ __all__ = [
     "StreamingPercentiles",
     "StreamingTrace",
     "drive",
+    "normalize_class_slos",
 ]

@@ -108,13 +108,21 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._common import ConfigurationError, validate_positive
-from repro.serving.events import ADMISSION, COMPLETION, EPOCH_BOUNDARY, drive
+from repro.serving.events import (ADMISSION, COMPLETION, EPOCH_BOUNDARY,
+                                  PREEMPTION, drive)
 from repro.serving.sketches import DEFAULT_QUANTILES, StreamingTrace
-from repro.serving.trace import RequestRecord, ServingTrace
+from repro.serving.trace import (
+    RequestRecord,
+    ServingTrace,
+    normalize_class_slos,
+)
 from repro.systems.memory import MemoryHierarchy
 from repro.systems.simulator import EpochTimings, InferenceSimulator
-from repro.workloads.arrivals import Request, RequestStream
+from repro.workloads.arrivals import SLO_CLASSES, Request, RequestStream
 from repro.workloads.descriptors import Workload
+
+#: Accepted values of ``ContinuousBatchingEngine(preemption=...)``.
+PREEMPTION_MODES = (None, "retain", "recompute")
 
 
 def _accumulate(start: float, values: np.ndarray) -> np.ndarray:
@@ -129,12 +137,24 @@ def _accumulate(start: float, values: np.ndarray) -> np.ndarray:
 
 @dataclass
 class _RunningRequest:
-    """Mutable in-flight state of one admitted request."""
+    """Mutable in-flight state of one admitted request.
+
+    ``prefill_tokens`` is how many prompt tokens the next prefill pass must
+    compute for this request: the full ``input_len`` for a fresh admission,
+    only the suffix when a session prefix was resident, the whole context so
+    far when a ``"recompute"`` preemption dropped the KV, and 0 when a
+    ``"retain"`` preemption kept it in host memory (the KV is swapped back
+    instead).  ``swap_tokens`` sizes that pending swap-in.
+    """
 
     request: Request
     admission_time: float
     first_token_time: float | None = None
     generated: int = 0
+    prefill_tokens: int = 0
+    prefix_hit: bool = False
+    preemptions: int = 0
+    swap_tokens: int = 0
 
     @property
     def context_length(self) -> int:
@@ -143,6 +163,111 @@ class _RunningRequest:
     @property
     def remaining(self) -> int:
         return self.request.output_len - self.generated
+
+
+class _PrefixCache:
+    """Resident KV prefixes of in-progress sessions (one per serve/run).
+
+    When a non-final session turn completes, its KV (the whole
+    ``input_len + output_len`` context — exactly the next turn's declared
+    ``prefix_len``) is *retained* on the GPU instead of freed, keyed by
+    ``session_id``.  The next turn of that session then charges only its
+    suffix: admission consumes the entry, nets the retained tokens out of
+    the new reservation, and prefills ``input_len - prefix_len`` tokens.  A
+    stale entry (retained context differs from the turn's declared prefix —
+    e.g. a replayed or edited trace) is dropped and counted as a miss.
+
+    Retained prefixes are *evictable*: when an admission would not fit the
+    tightest shard, entries are evicted oldest-retention-first (LRU) and
+    their tokens freed, so retention never blocks admission that plain
+    serving would allow.  An engine serving requests without session fields
+    never populates the cache, and every code path below degenerates to
+    ``+ 0`` — plain traces are bit-identical to the pre-session engine.
+    """
+
+    __slots__ = ("entries", "node_total", "shard_total", "hits", "misses",
+                 "evicted", "reused_tokens")
+
+    def __init__(self) -> None:
+        self.entries: dict[int, tuple[int, int]] = {}
+        self.node_total = 0
+        self.shard_total = 0
+        self.hits = 0
+        self.misses = 0
+        self.evicted = 0
+        self.reused_tokens = 0
+
+    @property
+    def touched(self) -> bool:
+        """Did any session turn interact with the cache this serve?"""
+        return bool(self.entries or self.hits or self.misses or self.evicted)
+
+    def retain(self, session_id: int, node_tokens: int,
+               shard_tokens: int) -> None:
+        """Keep a completed turn's KV resident for the session's next turn."""
+        self.entries[session_id] = (node_tokens, shard_tokens)
+        self.node_total += node_tokens
+        self.shard_total += shard_tokens
+
+    def make_room(self, shard_delta: int, shard_reserved: int,
+                  shard_limit: int) -> tuple[int, int]:
+        """LRU-evict entries until ``shard_delta`` more tokens fit.
+
+        Returns ``(node_freed, shard_freed)``; frees nothing when the
+        admission already fits.
+        """
+        node_freed = shard_freed = 0
+        while (self.entries
+               and shard_reserved + shard_delta - shard_freed > shard_limit):
+            session_id = next(iter(self.entries))
+            tokens, shard_tokens = self.entries.pop(session_id)
+            self.node_total -= tokens
+            self.shard_total -= shard_tokens
+            node_freed += tokens
+            shard_freed += shard_tokens
+            self.evicted += 1
+        return node_freed, shard_freed
+
+    def admit(self, request: Request, node_footprint: int,
+              shard_footprint: int, shard_reserved: int,
+              shard_limit: int) -> tuple[int, int, bool]:
+        """Account one admission against the cache.
+
+        Returns ``(node_delta, shard_delta, hit)`` — the reservation deltas
+        the caller applies (the request's footprint net of its consumed
+        entry and of any pressure evictions) and whether the request's
+        declared prefix was resident.
+        """
+        node_delta, shard_delta = node_footprint, shard_footprint
+        hit = False
+        session_id = getattr(request, "session_id", None)
+        prefix_len = getattr(request, "prefix_len", 0)
+        entry = (self.entries.pop(session_id, None)
+                 if session_id is not None else None)
+        if entry is not None:
+            tokens, shard_tokens = entry
+            self.node_total -= tokens
+            self.shard_total -= shard_tokens
+            node_delta -= tokens
+            shard_delta -= shard_tokens
+            hit = prefix_len > 0 and tokens == prefix_len
+        if prefix_len > 0:
+            if hit:
+                self.hits += 1
+                self.reused_tokens += prefix_len
+            else:
+                self.misses += 1
+        node_freed, shard_freed = self.make_room(shard_delta, shard_reserved,
+                                                 shard_limit)
+        return node_delta - node_freed, shard_delta - shard_freed, hit
+
+    def stats(self) -> dict:
+        """The ``metadata["prefix_cache"]`` payload."""
+        judged = self.hits + self.misses
+        return {"hits": self.hits, "misses": self.misses,
+                "evicted": self.evicted,
+                "reused_tokens": self.reused_tokens,
+                "hit_rate": self.hits / judged if judged else 0.0}
 
 
 class ContinuousBatchingEngine:
@@ -165,6 +290,21 @@ class ContinuousBatchingEngine:
         several engines — e.g. one per arrival rate in a sweep — reuse each
         other's solved epoch shapes.  Ignored by simulators without a
         ``schedule_cache`` attribute.
+    preemption:
+        ``None`` (default) serves strictly FCFS.  ``"retain"`` or
+        ``"recompute"`` enables priority scheduling over the request
+        ``slo_class`` tiers: an arriving interactive request may evict
+        running batch requests at an epoch boundary, either swapping their
+        KV to host memory and back (``"retain"``, priced on the PCIe link)
+        or dropping it and re-prefilling the generated context on
+        re-admission (``"recompute"``).  Preemption is event-path only —
+        combining it with ``exact_stepping=True`` raises.
+    prefix_reuse:
+        When True (default), the KV of a non-final session turn stays
+        resident so the session's next turn is charged only its suffix (see
+        :class:`_PrefixCache`).  ``False`` frees every completed request's
+        KV immediately, making session turns behave like unrelated
+        requests.
 
     The number of KV shards equals the simulator node's ``gpu_count`` (the
     simulator's :class:`~repro.systems.cost.ParallelismSpec` already
@@ -174,12 +314,27 @@ class ContinuousBatchingEngine:
     def __init__(self, simulator: InferenceSimulator,
                  max_batch_size: int | None = None,
                  reserve_fraction: float = 0.05,
-                 schedule_cache=None) -> None:
+                 schedule_cache=None,
+                 preemption: str | None = None,
+                 prefix_reuse: bool = True) -> None:
         if max_batch_size is not None:
             validate_positive(max_batch_size=max_batch_size)
+        if preemption not in PREEMPTION_MODES:
+            raise ConfigurationError(
+                f"unknown preemption mode {preemption!r}; known: "
+                f"{list(PREEMPTION_MODES)}"
+            )
+        if preemption is not None and simulator.exact_stepping:
+            raise ConfigurationError(
+                "preemption schedules new event kinds and is only "
+                "implemented on the event-driven path; it cannot be "
+                "combined with exact_stepping=True"
+            )
         self.simulator = simulator
         self.max_batch_size = max_batch_size
         self.reserve_fraction = reserve_fraction
+        self.preemption = preemption
+        self.prefix_reuse = prefix_reuse
         self.num_shards = simulator.hardware.gpu_count
         if schedule_cache is not None:
             if not hasattr(simulator, "schedule_cache"):
@@ -271,19 +426,48 @@ class ContinuousBatchingEngine:
         return -(-request.max_seq_len // self.num_shards)
 
     def _fits(self, request: Request, running: list[_RunningRequest],
-              shard_reserved_tokens: int, shard_limit_tokens: int) -> bool:
+              shard_reserved_tokens: int, shard_limit_tokens: int,
+              prefix: _PrefixCache | None = None) -> bool:
+        """Would admitting ``request`` fit the tightest shard right now?
+
+        ``shard_reserved_tokens`` counts running requests *and* retained
+        session prefixes; every retained prefix is evictable (and the
+        request's own session entry is consumed either way), so the
+        feasible case nets the whole cache out.  With an empty cache this
+        is exactly the pre-session arithmetic.
+        """
         if (self.max_batch_size is not None
                 and len(running) >= self.max_batch_size):
             return False
+        evictable = prefix.shard_total if prefix is not None else 0
         return (shard_reserved_tokens + self.shard_footprint(request)
-                <= shard_limit_tokens)
+                - evictable <= shard_limit_tokens)
+
+    def _admit_request(self, request: Request, prefix: _PrefixCache,
+                       shard_reserved: int, shard_limit: int,
+                       clock: float) -> tuple[_RunningRequest, int, int]:
+        """Admission bookkeeping shared by the clock loop and event runs.
+
+        Returns ``(wrapper, node_delta, shard_delta)``; the caller applies
+        the deltas to its reservation totals.
+        """
+        node_delta, shard_delta, hit = prefix.admit(
+            request, request.max_seq_len, self.shard_footprint(request),
+            shard_reserved, shard_limit)
+        prefix_len = getattr(request, "prefix_len", 0)
+        wrapper = _RunningRequest(
+            request, admission_time=clock,
+            prefill_tokens=request.input_len - (prefix_len if hit else 0),
+            prefix_hit=hit)
+        return wrapper, node_delta, shard_delta
 
     # ------------------------------------------------------------------ #
     # serving
     # ------------------------------------------------------------------ #
     def serve(self, requests, record_mode: str = "full",
               ttft_slo_s: float | None = None,
-              tpot_slo_s: float | None = None):
+              tpot_slo_s: float | None = None,
+              class_slos: dict | None = None):
         """Simulate serving ``requests`` and return the serving trace.
 
         ``requests`` is a list of :class:`Request` or a
@@ -301,8 +485,15 @@ class ContinuousBatchingEngine:
         :func:`~repro.serving.events.drive`); a simulator built with
         ``exact_stepping=True`` serves through the retained clock-stepped
         loop instead, which is pinned bit-identical.
+
+        ``class_slos`` fixes the per-``slo_class`` goodput SLOs that
+        :meth:`~repro.serving.sketches.StreamingTrace.per_class_summary`
+        will answer for.  Like the scalar SLOs it only *binds* in
+        streaming mode (full mode computes per-class figures from the
+        retained records on demand), but it is validated in both.
         """
-        trace = self.make_trace(record_mode, ttft_slo_s, tpot_slo_s)
+        trace = self.make_trace(record_mode, ttft_slo_s, tpot_slo_s,
+                                class_slos=class_slos)
         if isinstance(requests, RequestStream):
             if self.simulator.exact_stepping:
                 raise ConfigurationError(
@@ -335,7 +526,8 @@ class ContinuousBatchingEngine:
         return run.finalize()
 
     def make_trace(self, record_mode: str, ttft_slo_s: float | None = None,
-                   tpot_slo_s: float | None = None, quantiles=None):
+                   tpot_slo_s: float | None = None, quantiles=None,
+                   class_slos: dict | None = None):
         """Empty trace of the requested ``record_mode``, base metadata set.
 
         ``quantiles`` (streaming mode only) overrides the percentile ranks
@@ -352,6 +544,10 @@ class ContinuousBatchingEngine:
                                     "label": parallelism.label},
                     "record_mode": record_mode}
         if record_mode == "full":
+            # Full mode derives per-class figures from the retained records
+            # on demand, but a malformed mapping should fail here, exactly
+            # as it would have in streaming mode.
+            normalize_class_slos(class_slos)
             return ServingTrace(system=self.simulator.name,
                                 model=self.simulator.config.name,
                                 metadata=metadata)
@@ -363,7 +559,8 @@ class ContinuousBatchingEngine:
                                              if quantiles is None
                                              else quantiles),
                                   ttft_slo_s=ttft_slo_s,
-                                  tpot_slo_s=tpot_slo_s)
+                                  tpot_slo_s=tpot_slo_s,
+                                  class_slos=class_slos)
         raise ConfigurationError(
             f"unknown record_mode {record_mode!r}; known: ['full', "
             f"'streaming']"
@@ -415,6 +612,7 @@ class ContinuousBatchingEngine:
         pending = deque(sorted(requests,
                                key=lambda r: (r.arrival_time, r.request_id)))
         running: list[_RunningRequest] = []
+        prefix = _PrefixCache()
         epoch_hits_before = self._epoch_hits
         epoch_misses_before = self._epoch_misses
         memory = MemoryHierarchy.from_hardware(self.simulator.hardware)
@@ -430,15 +628,17 @@ class ContinuousBatchingEngine:
         while pending or running:
             # FCFS admission: the queue head blocks until it fits, so
             # requests always enter the batch in arrival order.
-            admitted: list[Request] = []
+            admitted: list[_RunningRequest] = []
             while (pending and pending[0].arrival_time <= clock
                    and self._fits(pending[0], running, shard_reserved,
-                                  shard_limit)):
+                                  shard_limit, prefix)):
                 request = pending.popleft()
-                running.append(_RunningRequest(request, admission_time=clock))
-                reserved += request.max_seq_len
-                shard_reserved += self.shard_footprint(request)
-                admitted.append(request)
+                wrapper, node_delta, shard_delta = self._admit_request(
+                    request, prefix, shard_reserved, shard_limit, clock)
+                running.append(wrapper)
+                reserved += node_delta
+                shard_reserved += shard_delta
+                admitted.append(wrapper)
             peak_reserved = max(peak_reserved, reserved)
             peak_shard_reserved = max(peak_shard_reserved, shard_reserved)
 
@@ -454,12 +654,13 @@ class ContinuousBatchingEngine:
             num_epochs += 1
             clock, steps, epoch_comm = self._decode_epoch(
                 running, pending, shard_reserved, shard_limit, clock, memory,
-                trace)
+                trace, prefix)
             num_steps += steps
             comm_time += epoch_comm
-            reserved = sum(r.request.max_seq_len for r in running)
-            shard_reserved = sum(self.shard_footprint(r.request)
-                                 for r in running)
+            reserved = (sum(r.request.max_seq_len for r in running)
+                        + prefix.node_total)
+            shard_reserved = (sum(self.shard_footprint(r.request)
+                                  for r in running) + prefix.shard_total)
 
         trace.metadata.update(
             kv_budget_tokens=budget, peak_reserved_tokens=peak_reserved,
@@ -479,6 +680,8 @@ class ContinuousBatchingEngine:
             comm_time_s=comm_time,
             comm_time_share=comm_time / clock if clock > 0 else 0.0,
         )
+        if prefix.touched:
+            trace.metadata["prefix_cache"] = prefix.stats()
         if not self.simulator.exact_stepping:
             # How many decode epochs were priced fresh vs served from the
             # epoch-price memo (cumulative counters, per-serve deltas).
@@ -497,22 +700,29 @@ class ContinuousBatchingEngine:
         return trace
 
     # ------------------------------------------------------------------ #
-    def _prefill_time(self, admitted: list[Request],
+    def _prefill_time(self, admitted: list[_RunningRequest],
                       memory: MemoryHierarchy) -> tuple[float, float]:
         """Batched prefill of the newly admitted requests.
 
         Returns ``(wall_clock_time, communication_time)`` — the latter is
         the interconnect share of the prefill pass (0 on a single GPU).
-        Prefill plans are deterministic per workload shape, so they are
-        cached on the engine across admission events *and* serve() calls:
-        repeated shapes (every admission in a fixed-length trace, every
-        rate of a sweep) skip the simulator's ``prepare`` — for ALISA a
-        full offline schedule search — and only re-price the plan.
+        The pass is sized by each request's ``prefill_tokens`` (the full
+        prompt, a session turn's suffix, or a recomputed context), so a
+        prefix hit shortens it; a batch of pure swap-ins (``"retain"``
+        resumes, 0 tokens each) skips it entirely.  Prefill plans are
+        deterministic per workload shape, so they are cached on the engine
+        across admission events *and* serve() calls: repeated shapes (every
+        admission in a fixed-length trace, every rate of a sweep) skip the
+        simulator's ``prepare`` — for ALISA a full offline schedule search
+        — and only re-price the plan.
         """
+        input_len = max(r.prefill_tokens for r in admitted)
+        if input_len == 0:
+            return 0.0, 0.0
         workload = Workload(
             batch_size=len(admitted),
-            input_len=max(r.input_len for r in admitted),
-            output_len=max(r.output_len for r in admitted),
+            input_len=input_len,
+            output_len=max(r.request.output_len for r in admitted),
             name="serving-prefill",
         )
         key = (workload.batch_size, workload.input_len, workload.output_len)
@@ -529,7 +739,7 @@ class ContinuousBatchingEngine:
     def _decode_epoch(self, running: list[_RunningRequest],
                       pending: deque, shard_reserved: int, shard_limit: int,
                       clock: float, memory: MemoryHierarchy,
-                      sink) -> tuple[float, int, float]:
+                      sink, prefix: _PrefixCache) -> tuple[float, int, float]:
         """Decode with fixed batch composition until a completion or an
         admissible arrival ends the epoch.
 
@@ -545,30 +755,34 @@ class ContinuousBatchingEngine:
             output_len=min(r.remaining for r in running),
             name="serving-decode",
         )
+        # The batch composition is fixed for the whole epoch, so the FCFS
+        # head's admissibility is too: the epoch can only be cut by the
+        # head's arrival, and only if it would fit.
+        cut_arrival = None
+        if pending and self._fits(pending[0], running, shard_reserved,
+                                  shard_limit, prefix):
+            cut_arrival = pending[0].arrival_time
         if self.simulator.exact_stepping:
             clock, steps, first_clock, comm_per_step = \
-                self._price_epoch_stepwise(workload, running, pending,
-                                           shard_reserved, shard_limit,
+                self._price_epoch_stepwise(workload, cut_arrival,
                                            clock, memory)
         else:
             clock, steps, first_clock, comm_per_step = \
-                self._price_epoch_fast(workload, running, pending,
-                                       shard_reserved, shard_limit,
-                                       clock, memory)
-        self._finish_epoch(running, sink, steps, first_clock, clock)
+                self._price_epoch_fast(workload, cut_arrival, clock, memory)
+        self._finish_epoch(running, sink, steps, first_clock, clock, prefix)
         return clock, steps, steps * comm_per_step
 
     def _price_epoch_fast(self, workload: Workload,
-                          running: list[_RunningRequest], pending: deque,
-                          shard_reserved: int, shard_limit: int,
+                          cut_arrival: float | None,
                           clock: float, memory: MemoryHierarchy,
                           ) -> tuple[float, int, float, float]:
         """Vectorized epoch pricing with per-shape memoization.
 
         One ``epoch_timings`` call prices all ``output_len`` steps as
         arrays; the epoch boundary falls out of a cumulative sum over the
-        timing vector plus a ``searchsorted`` against the queue head's
-        arrival time — no per-step Python loop.  Priced epochs are keyed by
+        timing vector plus a ``searchsorted`` against ``cut_arrival`` (the
+        earliest admissible arrival, ``None`` when no arrival can end the
+        epoch) — no per-step Python loop.  Priced epochs are keyed by
         ``(batch, context, steps, shard shape)``, so repeated epoch shapes
         (the common case in fixed-length traces and rate sweeps) skip
         planning *and* pricing — including the simulator's per-epoch
@@ -593,13 +807,12 @@ class ContinuousBatchingEngine:
         num_steps = workload.output_len
         clocks = _accumulate(clock, timings.total_times)
         steps = num_steps
-        if pending and self._fits(pending[0], running, shard_reserved,
-                                  shard_limit):
-            # First step whose post-step clock reaches the queue head's
-            # arrival; the final step always completes requests first, so
-            # only earlier steps can end the epoch by admission.
+        if cut_arrival is not None:
+            # First step whose post-step clock reaches the cut arrival; the
+            # final step always completes requests first, so only earlier
+            # steps can end the epoch by admission.
             cut = int(np.searchsorted(clocks[:num_steps - 1],
-                                      pending[0].arrival_time, side="left"))
+                                      cut_arrival, side="left"))
             if cut < num_steps - 1:
                 steps = cut + 1
         # Replay the steps' PCIe traffic onto the serve-level link ledger
@@ -615,8 +828,7 @@ class ContinuousBatchingEngine:
                 comm_per_step)
 
     def _price_epoch_stepwise(self, workload: Workload,
-                              running: list[_RunningRequest], pending: deque,
-                              shard_reserved: int, shard_limit: int,
+                              cut_arrival: float | None,
                               clock: float, memory: MemoryHierarchy,
                               ) -> tuple[float, int, float, float]:
         """Legacy per-step pricing loop (``exact_stepping=True``)."""
@@ -634,22 +846,23 @@ class ContinuousBatchingEngine:
                 first_clock = clock
             if steps == workload.output_len:
                 break  # the final step completes requests; epoch over
-            if (pending and pending[0].arrival_time <= clock
-                    and self._fits(pending[0], running, shard_reserved,
-                                   shard_limit)):
+            if cut_arrival is not None and cut_arrival <= clock:
                 break
         return clock, steps, first_clock, comm_per_step
 
     def _finish_epoch(self, running: list[_RunningRequest],
                       sink, steps: int, first_clock: float,
-                      end_clock: float) -> None:
+                      end_clock: float,
+                      prefix: _PrefixCache | None = None) -> None:
         """Apply an epoch's effects to the batch and record completions.
 
         All running requests decrement uniformly, so the finishers are
         exactly the requests whose remaining output equalled the steps
         taken, and first tokens land at the epoch's first cumulative clock
-        — no per-step scan of the batch is needed.  ``sink`` is anything
-        with ``observe(record)``: a :class:`~repro.serving.trace.ServingTrace`,
+        — no per-step scan of the batch is needed.  A finishing non-final
+        session turn hands its KV to the prefix cache instead of freeing it
+        (when ``prefix_reuse`` is on).  ``sink`` is anything with
+        ``observe(record)``: a :class:`~repro.serving.trace.ServingTrace`,
         a :class:`~repro.serving.sketches.StreamingTrace`, or an
         :class:`EngineRun` fanning records out to both a trace and a
         cluster-level sink.
@@ -660,14 +873,23 @@ class ContinuousBatchingEngine:
                 request.first_token_time = first_clock
         finished = [r for r in running if r.remaining <= 0]
         for done in finished:
+            request = done.request
+            if (prefix is not None and self.prefix_reuse
+                    and getattr(request, "final_turn", True) is False):
+                prefix.retain(request.session_id, request.max_seq_len,
+                              self.shard_footprint(request))
             sink.observe(RequestRecord(
-                request_id=done.request.request_id,
-                arrival_time=done.request.arrival_time,
+                request_id=request.request_id,
+                arrival_time=request.arrival_time,
                 admission_time=done.admission_time,
                 first_token_time=done.first_token_time,
                 completion_time=end_clock,
-                input_len=done.request.input_len,
-                output_len=done.request.output_len,
+                input_len=request.input_len,
+                output_len=request.output_len,
+                slo_class=request.slo_class,
+                prefix_len=getattr(request, "prefix_len", 0),
+                prefix_hit=done.prefix_hit,
+                preemptions=done.preemptions,
             ))
         if finished:
             # The epoch ends here; serve() recomputes the reservation
@@ -711,6 +933,17 @@ class EngineRun:
         self._memory = MemoryHierarchy.from_hardware(engine.simulator.hardware)
         self._pending: deque[Request] = deque()
         self._running: list[_RunningRequest] = []
+        self._prefix = _PrefixCache()
+        #: Priority scheduling state (``engine.preemption`` set): one FCFS
+        #: queue per SLO class, plus the wrappers of preempted requests
+        #: awaiting re-admission (their requests sit back in the queues).
+        self._priority = engine.preemption is not None
+        self._pending_classes: dict[str, deque[Request]] = {
+            name: deque() for name in SLO_CLASSES} if self._priority else {}
+        self._preempted: dict[int, _RunningRequest] = {}
+        self._num_preemptions = 0
+        self._swap_bytes = 0.0
+        self._recompute_tokens = 0
         self._clock = 0.0
         self._reserved = 0
         self._shard_reserved = 0
@@ -767,7 +1000,10 @@ class EngineRun:
             )
         self._last_key = key
         self.check_admissible(request)
-        self._pending.append(request)
+        if self._priority:
+            self._pending_classes[request.slo_class].append(request)
+        else:
+            self._pending.append(request)
         self._offered += 1
         if self._event is None:
             # A queued arrival can only unblock an idle or head-starved
@@ -802,25 +1038,29 @@ class EngineRun:
     @property
     def finished(self) -> bool:
         return (self._closed and self._event is None
-                and not self._pending and not self._running)
+                and not self._has_pending and not self._running)
 
     # ------------------------------------------------------------------ #
     # internals: the clock loop's iteration, split at its wait points
     # ------------------------------------------------------------------ #
+    @property
+    def _has_pending(self) -> bool:
+        if self._priority:
+            return any(self._pending_classes.values())
+        return bool(self._pending)
+
+    def _next_arrival(self) -> float:
+        """Earliest queued arrival (any class); queues must be non-empty."""
+        if self._priority:
+            return min(queue[0].arrival_time
+                       for queue in self._pending_classes.values() if queue)
+        return self._pending[0].arrival_time
+
     def _cycle(self) -> tuple[float, str] | None:
         """One admission round at the current clock, then (re)schedule."""
         engine = self.engine
-        pending, running = self._pending, self._running
-        admitted: list[Request] = []
-        while (pending and pending[0].arrival_time <= self._clock
-               and engine._fits(pending[0], running, self._shard_reserved,
-                                self._shard_limit)):
-            request = pending.popleft()
-            running.append(_RunningRequest(request,
-                                           admission_time=self._clock))
-            self._reserved += request.max_seq_len
-            self._shard_reserved += engine.shard_footprint(request)
-            admitted.append(request)
+        admitted = (self._admit_priority() if self._priority
+                    else self._admit_fifo())
         if self._reserved > self._peak_reserved:
             self._peak_reserved = self._reserved
         if self._shard_reserved > self._peak_shard_reserved:
@@ -832,22 +1072,196 @@ class EngineRun:
             self._comm_time += prefill_comm
         return self._schedule()
 
+    def _admit_fifo(self) -> list[_RunningRequest]:
+        """FCFS admission: the queue head blocks until it fits."""
+        engine = self.engine
+        pending, running = self._pending, self._running
+        admitted: list[_RunningRequest] = []
+        while (pending and pending[0].arrival_time <= self._clock
+               and engine._fits(pending[0], running, self._shard_reserved,
+                                self._shard_limit, self._prefix)):
+            admitted.append(self._admit_one(pending.popleft()))
+        return admitted
+
+    def _admit_priority(self) -> list[_RunningRequest]:
+        """Priority admission: highest arrived class first, may preempt.
+
+        The candidate is always the head of the highest-priority class
+        whose head has arrived.  An infeasible candidate blocks itself
+        *and* every lower class (strict priority — lower-class requests
+        never jump a starved higher class), unless it is entitled to evict
+        enough lower-priority running requests to fit.
+        """
+        engine = self.engine
+        running = self._running
+        admitted: list[_RunningRequest] = []
+        while True:
+            candidate_queue = None
+            for name in SLO_CLASSES:
+                queue = self._pending_classes[name]
+                if queue and queue[0].arrival_time <= self._clock:
+                    candidate_queue = queue
+                    break
+            if candidate_queue is None:
+                break
+            candidate = candidate_queue[0]
+            if engine._fits(candidate, running, self._shard_reserved,
+                            self._shard_limit, self._prefix):
+                admitted.append(self._admit_one(candidate_queue.popleft()))
+            elif self._can_preempt(candidate):
+                self._preempt_for(candidate)
+                admitted.append(self._admit_one(candidate_queue.popleft()))
+            else:
+                break
+        if self._num_preemptions and admitted:
+            # A same-cycle preemption may have evicted a request admitted
+            # moments earlier; it must not be prefilled as admitted.
+            still_running = {id(r) for r in running}
+            admitted = [r for r in admitted if id(r) in still_running]
+        return admitted
+
+    def _admit_one(self, request: Request) -> _RunningRequest:
+        """Admit one request (or resume its preempted wrapper)."""
+        engine = self.engine
+        wrapper = self._preempted.pop(request.request_id, None)
+        if wrapper is not None:
+            # Re-admission of preempted work: the full footprint is
+            # re-reserved (evicting retained prefixes if it must), the
+            # prefix cache is otherwise untouched, and a retained KV image
+            # is swapped back over the PCIe link.
+            footprint = engine.shard_footprint(request)
+            node_freed, shard_freed = self._prefix.make_room(
+                footprint, self._shard_reserved, self._shard_limit)
+            self._reserved += request.max_seq_len - node_freed
+            self._shard_reserved += footprint - shard_freed
+            if wrapper.swap_tokens:
+                num_bytes = engine.simulator.cost_model.kv_bytes(
+                    1, wrapper.swap_tokens, engine.simulator.kv_dtype)
+                self._clock += self._memory.link.host_to_device(num_bytes)
+                self._swap_bytes += num_bytes
+                wrapper.swap_tokens = 0
+            self._running.append(wrapper)
+            return wrapper
+        wrapper, node_delta, shard_delta = engine._admit_request(
+            request, self._prefix, self._shard_reserved, self._shard_limit,
+            self._clock)
+        self._reserved += node_delta
+        self._shard_reserved += shard_delta
+        self._running.append(wrapper)
+        return wrapper
+
+    def _can_preempt(self, candidate: Request) -> bool:
+        """Could evicting every lower-priority running request fit
+        ``candidate``?  (The actual eviction stops as soon as it fits.)"""
+        engine = self.engine
+        rank = SLO_CLASSES.index
+        candidate_rank = rank(candidate.slo_class)
+        victims = [r for r in self._running
+                   if rank(r.request.slo_class) > candidate_rank]
+        if not victims:
+            return False
+        if (engine.max_batch_size is not None
+                and len(self._running) - len(victims) + 1
+                > engine.max_batch_size):
+            return False
+        freed = sum(engine.shard_footprint(v.request) for v in victims)
+        return (self._shard_reserved - freed
+                + engine.shard_footprint(candidate)
+                - self._prefix.shard_total <= self._shard_limit)
+
+    def _preempt_for(self, candidate: Request) -> None:
+        """Evict lower-priority running requests until ``candidate`` fits.
+
+        Victims are evicted latest-admitted-first (LIFO — the least sunk
+        work is sacrificed) and their requests re-enqueued at the head of
+        their class queue, which keeps that queue (arrival, id)-sorted
+        because earlier-admitted requests have earlier keys.
+        """
+        engine = self.engine
+        rank = SLO_CLASSES.index
+        candidate_rank = rank(candidate.slo_class)
+        running = self._running
+        for index in range(len(running) - 1, -1, -1):
+            victim = running[index]
+            if rank(victim.request.slo_class) <= candidate_rank:
+                continue
+            self._evict(victim, index)
+            if engine._fits(candidate, running, self._shard_reserved,
+                            self._shard_limit, self._prefix):
+                return
+
+    def _evict(self, victim: _RunningRequest, index: int) -> None:
+        engine = self.engine
+        request = victim.request
+        del self._running[index]
+        self._reserved -= request.max_seq_len
+        self._shard_reserved -= engine.shard_footprint(request)
+        victim.preemptions += 1
+        self._num_preemptions += 1
+        if engine.preemption == "retain":
+            # Swap the context generated so far out to host memory now;
+            # the matching swap-in is priced at re-admission.
+            num_bytes = engine.simulator.cost_model.kv_bytes(
+                1, victim.context_length, engine.simulator.kv_dtype)
+            self._clock += self._memory.link.device_to_host(num_bytes)
+            self._swap_bytes += num_bytes
+            victim.swap_tokens = victim.context_length
+            victim.prefill_tokens = 0
+        else:  # "recompute": drop the KV, re-prefill the context on resume
+            victim.swap_tokens = 0
+            victim.prefill_tokens = victim.context_length
+            self._recompute_tokens += victim.context_length
+        self._preempted[request.request_id] = victim
+        self._pending_classes[request.slo_class].appendleft(request)
+
     def _schedule(self) -> tuple[float, str] | None:
         """Compute the run's next event from its state (None = wait)."""
         if not self._running:
-            if self._pending:
+            if self._has_pending:
                 # Idle with a queued head: wake at its arrival instant.
-                time = max(self._clock, self._pending[0].arrival_time)
+                time = max(self._clock, self._next_arrival())
                 self._event = (ADMISSION, time)
                 return (time, ADMISSION)
             return None  # awaiting offers, or finished once closed
-        if not self._pending and not self._closed:
+        if not self._has_pending and not self._closed:
             return None  # blocked: the epoch cut needs the next queue head
         return self._schedule_epoch()
 
+    def _cut_arrival(self) -> tuple[float | None, bool]:
+        """The earliest arrival that can end the next epoch, if any.
+
+        Returns ``(arrival_time, needs_preemption)``.  The batch is fixed
+        for the whole epoch, so each queue head's feasibility is too.  In
+        priority mode an *arrived* head was just refused by the admission
+        round — it is infeasible against this batch and blocks its own and
+        every lower class, but higher classes keep their cuts.
+        """
+        engine = self.engine
+        if not self._priority:
+            pending = self._pending
+            if pending and engine._fits(pending[0], self._running,
+                                        self._shard_reserved,
+                                        self._shard_limit, self._prefix):
+                return pending[0].arrival_time, False
+            return None, False
+        best: tuple[float, bool] | None = None
+        for name in SLO_CLASSES:
+            queue = self._pending_classes[name]
+            if not queue:
+                continue
+            head = queue[0]
+            if head.arrival_time <= self._clock:
+                break
+            fits = engine._fits(head, self._running, self._shard_reserved,
+                                self._shard_limit, self._prefix)
+            if fits or self._can_preempt(head):
+                if best is None or head.arrival_time < best[0]:
+                    best = (head.arrival_time, not fits)
+        return best if best is not None else (None, False)
+
     def _schedule_epoch(self) -> tuple[float, str]:
         engine = self.engine
-        running, pending = self._running, self._pending
+        running = self._running
         workload = Workload(
             batch_size=len(running),
             input_len=max(r.context_length for r in running),
@@ -855,15 +1269,21 @@ class EngineRun:
             name="serving-decode",
         )
         self._num_epochs += 1
+        cut_arrival, needs_preemption = self._cut_arrival()
         price = (engine._price_epoch_stepwise
                  if engine.simulator.exact_stepping
                  else engine._price_epoch_fast)
         end, steps, first, comm_per_step = price(
-            workload, running, pending, self._shard_reserved,
-            self._shard_limit, self._clock, self._memory)
-        # The final step of a full epoch completes its shortest requests;
-        # a shorter epoch was cut by the queue head becoming admissible.
-        kind = COMPLETION if steps == workload.output_len else EPOCH_BOUNDARY
+            workload, cut_arrival, self._clock, self._memory)
+        # The final step of a full epoch completes its shortest requests; a
+        # shorter epoch was cut by an arrival — one that will preempt, or
+        # one that simply fits.
+        if steps == workload.output_len:
+            kind = COMPLETION
+        elif needs_preemption:
+            kind = PREEMPTION
+        else:
+            kind = EPOCH_BOUNDARY
         self._event = (kind, end, steps, first, comm_per_step)
         return (end, kind)
 
@@ -873,10 +1293,13 @@ class EngineRun:
         self._clock = end
         self._num_steps += steps
         self._comm_time += steps * comm_per_step
-        engine._finish_epoch(self._running, self, steps, first, end)
-        self._reserved = sum(r.request.max_seq_len for r in self._running)
-        self._shard_reserved = sum(engine.shard_footprint(r.request)
-                                   for r in self._running)
+        engine._finish_epoch(self._running, self, steps, first, end,
+                             self._prefix)
+        self._reserved = (sum(r.request.max_seq_len for r in self._running)
+                          + self._prefix.node_total)
+        self._shard_reserved = (sum(engine.shard_footprint(r.request)
+                                    for r in self._running)
+                                + self._prefix.shard_total)
 
     # ------------------------------------------------------------------ #
     def finalize(self):
@@ -918,6 +1341,15 @@ class EngineRun:
             comm_time_share=(self._comm_time / self._clock
                              if self._clock > 0 else 0.0),
         )
+        if self._prefix.touched:
+            trace.metadata["prefix_cache"] = self._prefix.stats()
+        if engine.preemption is not None:
+            trace.metadata["preemption"] = {
+                "mode": engine.preemption,
+                "count": self._num_preemptions,
+                "swap_bytes": self._swap_bytes,
+                "recompute_tokens": self._recompute_tokens,
+            }
         if not engine.simulator.exact_stepping:
             trace.metadata["epoch_cache"] = {
                 "hits": engine._epoch_hits - self._epoch_hits_before,

@@ -56,6 +56,11 @@ ARRIVAL = "arrival"
 ADMISSION = "admission"
 EPOCH_BOUNDARY = "epoch-boundary"
 COMPLETION = "completion"
+#: An epoch cut short because a higher-priority arrival will evict running
+#: lower-priority requests at the boundary (engines built with
+#: ``preemption="retain"`` or ``"recompute"``; never emitted otherwise, so
+#: preemption-free journals are unchanged).
+PREEMPTION = "preemption"
 
 
 class ReplicaRun(Protocol):

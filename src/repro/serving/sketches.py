@@ -41,7 +41,7 @@ import bisect
 import numpy as np
 
 from repro._common import ConfigurationError
-from repro.serving.trace import RequestRecord
+from repro.serving.trace import RequestRecord, normalize_class_slos
 
 #: Percentile ranks tracked by default — the ones ``summary()`` reports.
 DEFAULT_QUANTILES = (50, 90, 99)
@@ -256,12 +256,14 @@ class StreamingTrace:
     def __init__(self, system: str, model: str, metadata: dict | None = None,
                  quantiles=DEFAULT_QUANTILES,
                  ttft_slo_s: float | None = None,
-                 tpot_slo_s: float | None = None) -> None:
+                 tpot_slo_s: float | None = None,
+                 class_slos: dict | None = None) -> None:
         self.system = system
         self.model = model
         self.metadata = dict(metadata or {})
         self.ttft_slo_s = ttft_slo_s
         self.tpot_slo_s = tpot_slo_s
+        self.class_slos = normalize_class_slos(class_slos)
         quantiles = tuple(quantiles) if quantiles else None
         if quantiles is not None:
             self._ttft = StreamingPercentiles(quantiles)
@@ -276,6 +278,15 @@ class StreamingTrace:
         self._queueing = StreamingMean()
         self._goodput = StreamingGoodput(ttft_slo_s=ttft_slo_s,
                                          tpot_slo_s=tpot_slo_s)
+        # Per-SLO-class accumulators (created lazily on first observation
+        # of each class) plus prefix-reuse counters — the streaming side of
+        # ServingTrace.per_class_summary / prefix_hit_rate.  Per-class
+        # goodput SLOs are fixed at construction via ``class_slos``, for
+        # the same reason the trace-level SLOs are.
+        self._classes: dict[str, dict] = {}
+        self._prefix_bearing = 0
+        self._prefix_hits = 0
+        self._preemptions = 0
 
     # ------------------------------------------------------------------ #
     # record sink
@@ -292,6 +303,24 @@ class StreamingTrace:
             self._ttft.observe(record.ttft)
             self._tpot.observe(record.tpot)
             self._latency.observe(record.e2e_latency)
+        accumulator = self._classes.get(record.slo_class)
+        if accumulator is None:
+            ttft_slo_s, tpot_slo_s = self.class_slos.get(record.slo_class,
+                                                         (None, None))
+            accumulator = {"tokens": 0, "ttft": StreamingMean(),
+                           "queueing": StreamingMean(),
+                           "goodput": StreamingGoodput(
+                               ttft_slo_s=ttft_slo_s,
+                               tpot_slo_s=tpot_slo_s)}
+            self._classes[record.slo_class] = accumulator
+        accumulator["tokens"] += record.output_len
+        accumulator["ttft"].observe(record.ttft)
+        accumulator["queueing"].observe(record.queueing_delay)
+        accumulator["goodput"].observe(record)
+        if record.prefix_len > 0:
+            self._prefix_bearing += 1
+            self._prefix_hits += record.prefix_hit
+        self._preemptions += record.preemptions
 
     # ------------------------------------------------------------------ #
     # aggregate metrics (ServingTrace surface)
@@ -363,6 +392,56 @@ class StreamingTrace:
             )
         return self._goodput.goodput(self._duration)
 
+    # ------------------------------------------------------------------ #
+    # session / SLO-class columns (ServingTrace surface)
+    # ------------------------------------------------------------------ #
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prefix-bearing requests whose prefix was resident."""
+        if self._prefix_bearing == 0:
+            return 0.0
+        return self._prefix_hits / self._prefix_bearing
+
+    @property
+    def num_preemptions(self) -> int:
+        """Total preemptions suffered across all observed requests."""
+        return self._preemptions
+
+    def per_class_summary(self, class_slos: dict | None = None) -> dict:
+        """Per-SLO-class breakdown with ``ServingTrace``'s keys.
+
+        Like :meth:`goodput`, per-class SLO compliance was judged as
+        records streamed by, so ``class_slos`` must either be
+        ``None``/empty (unconstrained goodput — always answerable, it is
+        just per-class throughput) or match the mapping this trace was
+        built with.
+        """
+        requested = normalize_class_slos(class_slos)
+        unconstrained = not requested
+        if not unconstrained and requested != self.class_slos:
+            raise ConfigurationError(
+                f"streaming per-class goodput was accumulated for class "
+                f"SLOs {self.class_slos!r}; {requested!r} would need the "
+                f"retained records (record_mode='full')"
+            )
+        duration = self._duration
+        out = {}
+        for name in sorted(self._classes):
+            accumulator = self._classes[name]
+            if unconstrained:
+                goodput = (accumulator["tokens"] / duration
+                           if duration > 0 else 0.0)
+            else:
+                goodput = accumulator["goodput"].goodput(duration)
+            out[name] = {
+                "num_requests": accumulator["ttft"].count,
+                "generated_tokens": accumulator["tokens"],
+                "goodput_tokens_per_s": goodput,
+                "mean_ttft_s": accumulator["ttft"].mean,
+                "mean_queueing_delay_s": accumulator["queueing"].mean,
+            }
+        return out
+
     def summary(self) -> dict:
         """Flat summary with the same keys as ``ServingTrace.summary()``."""
         ttft = self.ttft_percentiles() if self._ttft is not None else {}
@@ -384,4 +463,6 @@ class StreamingTrace:
             "p99_tpot_s": tpot.get(99.0, 0.0),
             "p50_latency_s": latency.get(50.0, 0.0),
             "p99_latency_s": latency.get(99.0, 0.0),
+            "prefix_hit_rate": self.prefix_hit_rate,
+            "num_preemptions": self.num_preemptions,
         }

@@ -22,11 +22,51 @@ from dataclasses import dataclass, field
 
 from repro._common import ConfigurationError
 from repro.evaluation.metrics import percentiles, serving_goodput
+from repro.workloads.arrivals import SLO_CLASSES
+
+
+def normalize_class_slos(class_slos: dict | None) -> dict:
+    """Canonicalise a per-class SLO mapping to ``{name: (ttft, tpot)}``.
+
+    Accepts ``{name: (ttft_slo_s, tpot_slo_s)}`` tuples or
+    ``{name: {"ttft_slo_s": ..., "tpot_slo_s": ...}}`` dicts (missing or
+    ``None`` entries leave that dimension unconstrained).  ``None`` maps to
+    ``{}`` — no class is SLO-constrained.
+    """
+    if not class_slos:
+        return {}
+    normalized: dict[str, tuple[float | None, float | None]] = {}
+    for name, slos in class_slos.items():
+        if name not in SLO_CLASSES:
+            raise ConfigurationError(
+                f"unknown slo_class {name!r} in class SLOs; "
+                f"known: {list(SLO_CLASSES)}"
+            )
+        if isinstance(slos, dict):
+            unknown = set(slos) - {"ttft_slo_s", "tpot_slo_s"}
+            if unknown:
+                raise ConfigurationError(
+                    f"class {name!r}: unknown SLO keys {sorted(unknown)}; "
+                    f"known: ['tpot_slo_s', 'ttft_slo_s']"
+                )
+            normalized[name] = (slos.get("ttft_slo_s"), slos.get("tpot_slo_s"))
+        else:
+            ttft, tpot = slos
+            normalized[name] = (ttft, tpot)
+    return normalized
 
 
 @dataclass(frozen=True)
 class RequestRecord:
-    """Lifecycle timestamps of one completed request."""
+    """Lifecycle timestamps of one completed request.
+
+    ``slo_class``/``prefix_len``/``prefix_hit``/``preemptions`` carry the
+    session-workload facts through to trace summaries: the request's
+    priority tier, how many of its prompt tokens were a shared session
+    prefix, whether that prefix was resident at admission (so only the
+    suffix KV was charged), and how many times the request was preempted
+    by higher-priority arrivals before completing.
+    """
 
     request_id: int
     arrival_time: float
@@ -35,6 +75,10 @@ class RequestRecord:
     completion_time: float
     input_len: int
     output_len: int
+    slo_class: str = SLO_CLASSES[0]
+    prefix_len: int = 0
+    prefix_hit: bool = False
+    preemptions: int = 0
 
     def __post_init__(self) -> None:
         if not (self.arrival_time <= self.admission_time
@@ -42,6 +86,16 @@ class RequestRecord:
             raise ConfigurationError(
                 f"request {self.request_id}: timestamps must be ordered "
                 f"arrival <= admission <= first token <= completion"
+            )
+        if self.slo_class not in SLO_CLASSES:
+            raise ConfigurationError(
+                f"request {self.request_id}: unknown slo_class "
+                f"{self.slo_class!r}; known: {list(SLO_CLASSES)}"
+            )
+        if self.prefix_len < 0 or self.preemptions < 0:
+            raise ConfigurationError(
+                f"request {self.request_id}: prefix_len and preemptions "
+                f"must be non-negative"
             )
 
     @property
@@ -143,6 +197,60 @@ class ServingTrace:
         return (sum(r.queueing_delay for r in self.records)
                 / len(self.records))
 
+    # ------------------------------------------------------------------ #
+    # session / SLO-class columns
+    # ------------------------------------------------------------------ #
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prefix-bearing requests whose prefix was resident.
+
+        Only requests that declared a shared prefix (``prefix_len > 0``)
+        count; a trace with no session turns reports 0.0.
+        """
+        bearing = hits = 0
+        for record in self.records:
+            if record.prefix_len > 0:
+                bearing += 1
+                hits += record.prefix_hit
+        return hits / bearing if bearing else 0.0
+
+    @property
+    def num_preemptions(self) -> int:
+        """Total preemptions suffered across all completed requests."""
+        return sum(record.preemptions for record in self.records)
+
+    def per_class_summary(self, class_slos: dict | None = None) -> dict:
+        """Per-SLO-class breakdown: ``{slo_class: {metric: value}}``.
+
+        One entry per class present in the records.  ``class_slos`` maps
+        class names to their goodput SLOs (any shape
+        :func:`normalize_class_slos` accepts); classes without an entry
+        report unconstrained goodput (equal to their token throughput).
+        Goodput divides by the whole trace's duration, so class columns sum
+        to the trace totals.
+        """
+        slos = normalize_class_slos(class_slos)
+        grouped: dict[str, list[RequestRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.slo_class, []).append(record)
+        duration = self.duration
+        out = {}
+        for name in sorted(grouped):
+            records = grouped[name]
+            ttft_slo_s, tpot_slo_s = slos.get(name, (None, None))
+            out[name] = {
+                "num_requests": len(records),
+                "generated_tokens": sum(r.output_len for r in records),
+                "goodput_tokens_per_s": serving_goodput(
+                    records, duration, ttft_slo_s=ttft_slo_s,
+                    tpot_slo_s=tpot_slo_s),
+                "mean_ttft_s": sum(r.ttft for r in records) / len(records),
+                "mean_queueing_delay_s": (sum(r.queueing_delay
+                                              for r in records)
+                                          / len(records)),
+            }
+        return out
+
     def summary(self) -> dict:
         """Flat summary dictionary used by experiment reports."""
         ttft = self.ttft_percentiles()
@@ -163,4 +271,6 @@ class ServingTrace:
             "p99_tpot_s": tpot.get(99.0, 0.0),
             "p50_latency_s": latency.get(50.0, 0.0),
             "p99_latency_s": latency.get(99.0, 0.0),
+            "prefix_hit_rate": self.prefix_hit_rate,
+            "num_preemptions": self.num_preemptions,
         }

@@ -2,6 +2,7 @@
 
 from repro.workloads.arrivals import (
     ARRIVAL_PATTERNS,
+    SLO_CLASSES,
     Request,
     RequestStream,
     bursty_arrival_times,
@@ -16,6 +17,12 @@ from repro.workloads.descriptors import (
     FIGURE9_BATCH_SIZES,
     Workload,
     alpaca_batch_sweep,
+)
+from repro.workloads.sessions import (
+    SessionRequest,
+    SessionTrace,
+    replay_requests,
+    sessions,
 )
 from repro.workloads.recall import (
     ALL_DATASETS,
@@ -42,6 +49,9 @@ __all__ = [
     "RecallTaskConfig",
     "Request",
     "RequestStream",
+    "SLO_CLASSES",
+    "SessionRequest",
+    "SessionTrace",
     "Workload",
     "alpaca_batch_sweep",
     "bursty_arrival_times",
@@ -50,7 +60,9 @@ __all__ = [
     "generate_requests",
     "get_dataset_config",
     "poisson_arrival_times",
+    "replay_requests",
     "sample_prompts",
+    "sessions",
     "sharegpt_lengths",
     "zipf_prompt_batch",
     "zipf_token_stream",

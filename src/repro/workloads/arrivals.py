@@ -41,6 +41,13 @@ import numpy as np
 
 from repro._common import ConfigurationError, rng, validate_positive
 
+#: Priority SLO classes, highest priority first.  ``"interactive"``
+#: requests are latency-sensitive (chat turns); ``"batch"`` requests are
+#: throughput work (summarization jobs, evals) that a preemption-enabled
+#: engine may evict at epoch boundaries to make room for interactive
+#: arrivals.  The tuple order is the priority order.
+SLO_CLASSES = ("interactive", "batch")
+
 
 @dataclass(frozen=True)
 class Request:
@@ -48,19 +55,28 @@ class Request:
 
     The offline :class:`~repro.workloads.descriptors.Workload` is the
     degenerate case of ``batch_size`` identical requests all arriving at
-    time zero.
+    time zero.  ``slo_class`` tags the request with its priority tier (see
+    :data:`SLO_CLASSES`); it defaults to ``"interactive"`` and is inert
+    unless the serving engine enables preemption or a trace is summarised
+    per class.
     """
 
     request_id: int
     arrival_time: float
     input_len: int
     output_len: int
+    slo_class: str = "interactive"
 
     def __post_init__(self) -> None:
         validate_positive(input_len=self.input_len, output_len=self.output_len)
         if self.arrival_time < 0:
             raise ConfigurationError(
                 f"arrival_time must be non-negative, got {self.arrival_time!r}"
+            )
+        if self.slo_class not in SLO_CLASSES:
+            raise ConfigurationError(
+                f"unknown slo_class {self.slo_class!r}; "
+                f"known: {list(SLO_CLASSES)}"
             )
 
     @property

@@ -1,0 +1,307 @@
+"""Multi-turn session workloads with shared-prefix KV reuse.
+
+Real chat traffic is dominated by *sessions*: a user sends a prompt, reads
+the answer, thinks, and sends a follow-up that carries the whole
+conversation so far as context.  Under the paper's KV-cache-pressure lens
+(conf_isca_ZhaoWW24 Section VI) this changes everything — consecutive
+turns share a growing prefix whose KV the engine may keep resident instead
+of re-reserving and re-prefilling it, and latency-sensitive chat turns
+compete with throughput batch jobs for the same budget.
+
+:class:`SessionTrace` is the deterministic generator: per-session turn
+counts, think-time gaps between turns, suffix-only new tokens, and a
+per-session SLO class (see :data:`~repro.workloads.arrivals.SLO_CLASSES`).
+It lowers to the existing request stream —
+:meth:`SessionTrace.requests` returns plain
+:class:`~repro.workloads.arrivals.Request`-compatible
+:class:`SessionRequest` objects sorted by ``(arrival_time, request_id)``
+— so every serving entry point (engine, cluster, sweep) consumes sessions
+unchanged.
+
+Lowering contract
+-----------------
+* Every turn carries its **full context** as ``input_len`` (prefix plus
+  new tokens) and tags the shared part as ``prefix_len``, so an engine
+  without prefix reuse serves the trace correctly (it just pays the full
+  prefill and reservation) and one with reuse charges only the suffix.
+* ``requests(prefix_reuse=False)`` zeroes every ``prefix_len`` and marks
+  every turn final: request-for-request identical arrivals and lengths,
+  no retained prefixes — the "equivalent single-shot trace".
+  :meth:`SessionTrace.single_shot` is the same trace as plain
+  :class:`~repro.workloads.arrivals.Request` objects (the hypothesis
+  invariant in ``tests/test_sessions.py`` pins the equivalence).
+* Turn ``t+1``'s ``prefix_len`` equals turn ``t``'s
+  ``input_len + output_len`` — the whole previous context including the
+  generated answer.
+* The trace is **open loop**: turn ``t+1`` arrives a think-time gap plus a
+  service allowance (``tokens / service_tokens_per_s``) after turn ``t``,
+  independent of the simulated completion instant.  This keeps the trace a
+  pure function of its seed (closed-loop arrivals would couple the
+  workload to the engine under test); pick ``mean_think_s`` and
+  ``service_tokens_per_s`` so follow-ups usually arrive after their
+  parent completes if high prefix-hit rates are the goal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._common import ConfigurationError, rng, validate_positive
+from repro.workloads.arrivals import (
+    ARRIVAL_PATTERNS,
+    SLO_CLASSES,
+    Request,
+)
+
+
+@dataclass(frozen=True)
+class SessionRequest(Request):
+    """One turn of a multi-turn session, as a serving request.
+
+    A :class:`~repro.workloads.arrivals.Request` plus the session facts the
+    serving engine's prefix-reuse admission reads: which conversation the
+    turn belongs to (``session_id``), its position (``turn_index``), how
+    many of its ``input_len`` tokens are the shared prefix of the previous
+    turns (``prefix_len``), and whether any follow-up turn may reuse this
+    turn's context (``final_turn=False`` asks the engine to retain it).
+    """
+
+    session_id: int = 0
+    turn_index: int = 0
+    prefix_len: int = 0
+    final_turn: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.session_id < 0 or self.turn_index < 0:
+            raise ConfigurationError(
+                f"session_id and turn_index must be non-negative, got "
+                f"({self.session_id!r}, {self.turn_index!r})"
+            )
+        if not 0 <= self.prefix_len < self.input_len:
+            raise ConfigurationError(
+                f"prefix_len must satisfy 0 <= prefix_len < input_len "
+                f"(every turn adds at least one new token), got "
+                f"prefix_len={self.prefix_len!r} with "
+                f"input_len={self.input_len!r}"
+            )
+
+    @property
+    def suffix_len(self) -> int:
+        """New prompt tokens this turn adds beyond the shared prefix."""
+        return self.input_len - self.prefix_len
+
+
+@dataclass(frozen=True)
+class SessionTrace:
+    """Deterministic multi-turn session workload specification.
+
+    Session starts follow any registered arrival pattern at ``rate``
+    sessions per second; each session draws a geometric turn count (mean
+    ``mean_turns``, capped at ``max_turns``), heavy-tailed log-normal new
+    prompt/answer lengths per turn (means ``mean_new_input`` /
+    ``mean_output``, shape ``sigma`` — the ShareGPT-style distribution of
+    :func:`~repro.workloads.arrivals.sharegpt_lengths`), and exponential
+    think-time gaps (mean ``mean_think_s``) between turns.  A session is
+    ``"interactive"`` with probability ``interactive_fraction``, else
+    ``"batch"``; the class applies to all its turns.  Context growth is
+    capped at ``max_context`` KV tokens: a session ends early rather than
+    emit a turn that would overflow the cap.
+
+    ``rate=None`` builds a rate-less spec for sweeps
+    (``serving_rate_sweep(workload=sessions(...))`` fills the rate per
+    row via :meth:`with_rate`).
+    """
+
+    num_sessions: int
+    rate: float | None = None
+    seed: int | None = 0
+    pattern: str = "poisson"
+    mean_turns: float = 4.0
+    max_turns: int = 16
+    mean_think_s: float = 2.0
+    mean_new_input: int = 64
+    mean_output: int = 128
+    sigma: float = 0.8
+    max_context: int = 2048
+    interactive_fraction: float = 1.0
+    service_tokens_per_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        validate_positive(num_sessions=self.num_sessions,
+                          max_turns=self.max_turns,
+                          mean_think_s=self.mean_think_s,
+                          mean_new_input=self.mean_new_input,
+                          mean_output=self.mean_output, sigma=self.sigma,
+                          service_tokens_per_s=self.service_tokens_per_s)
+        if self.rate is not None:
+            validate_positive(rate=self.rate)
+        if self.mean_turns < 1.0:
+            raise ConfigurationError(
+                f"mean_turns must be at least 1, got {self.mean_turns!r}"
+            )
+        if self.max_context < 2:
+            raise ConfigurationError(
+                f"max_context must be at least 2 (one prompt plus one "
+                f"output token), got {self.max_context!r}"
+            )
+        if not 0.0 <= self.interactive_fraction <= 1.0:
+            raise ConfigurationError(
+                f"interactive_fraction must lie in [0, 1], got "
+                f"{self.interactive_fraction!r}"
+            )
+        if self.pattern not in ARRIVAL_PATTERNS:
+            raise ConfigurationError(
+                f"unknown arrival pattern {self.pattern!r}; "
+                f"known: {sorted(ARRIVAL_PATTERNS)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def with_rate(self, rate: float) -> "SessionTrace":
+        """Copy of this spec at a new session arrival rate (sweep axis)."""
+        return dataclasses.replace(self, rate=rate)
+
+    # ------------------------------------------------------------------ #
+    def requests(self, prefix_reuse: bool = True) -> list[SessionRequest]:
+        """Lower the sessions to a sorted serving request trace.
+
+        Returns :class:`SessionRequest` objects sorted by
+        ``(arrival_time, request_id)`` with ``request_id`` equal to the
+        sort position — exactly the stream the serving engine admits FCFS.
+        ``prefix_reuse=False`` produces the equivalent single-shot trace:
+        identical ids, arrivals, and lengths, but every ``prefix_len`` is 0
+        and every turn is final, so no engine retains or reuses anything.
+        """
+        turns = self._turns()
+        return [
+            SessionRequest(
+                request_id=index, arrival_time=arrival,
+                input_len=input_len, output_len=output_len,
+                slo_class=slo_class, session_id=session_id,
+                turn_index=turn_index,
+                prefix_len=prefix_len if prefix_reuse else 0,
+                final_turn=final_turn if prefix_reuse else True)
+            for index, (arrival, session_id, turn_index, prefix_len,
+                        input_len, output_len, slo_class, final_turn)
+            in enumerate(turns)
+        ]
+
+    def single_shot(self) -> list[Request]:
+        """The equivalent independent-request trace (plain ``Request``).
+
+        Request-for-request identical to ``requests(prefix_reuse=False)``
+        on every :class:`~repro.workloads.arrivals.Request` field — the
+        trace a session-blind serving stack would see.
+        """
+        return [
+            Request(request_id=index, arrival_time=arrival,
+                    input_len=input_len, output_len=output_len,
+                    slo_class=slo_class)
+            for index, (arrival, _, _, _, input_len, output_len, slo_class,
+                        _) in enumerate(self._turns())
+        ]
+
+    @property
+    def num_turns(self) -> int:
+        """Total serving requests the trace lowers to."""
+        return len(self._turns())
+
+    # ------------------------------------------------------------------ #
+    def _turns(self) -> list[tuple]:
+        """All turns of all sessions, sorted by arrival.
+
+        Each entry is ``(arrival, session_id, turn_index, prefix_len,
+        input_len, output_len, slo_class, final_turn)``.  Pure function of
+        the spec (one generator seeded from ``seed`` drives every draw
+        after the session-start arrival times).
+        """
+        if self.rate is None:
+            raise ConfigurationError(
+                "this SessionTrace has no arrival rate; call "
+                "with_rate(rate) first (serving_rate_sweep does this per "
+                "swept rate)"
+            )
+        starts = ARRIVAL_PATTERNS[self.pattern](self.num_sessions, self.rate,
+                                                seed=self.seed)
+        generator = rng(None if self.seed is None else self.seed + 1)
+        turn_counts = np.minimum(
+            generator.geometric(1.0 / self.mean_turns,
+                                size=self.num_sessions),
+            self.max_turns)
+        classes = np.where(
+            generator.random(self.num_sessions) < self.interactive_fraction,
+            SLO_CLASSES[0], SLO_CLASSES[1])
+        # Single-turn length caps guarantee the first turn always fits the
+        # context budget; later turns end the session rather than overflow.
+        input_cap = self.max_context // 2
+        output_cap = self.max_context - input_cap
+
+        def sample(mean: int, cap: int) -> int:
+            mu = np.log(mean) - self.sigma ** 2 / 2.0
+            length = generator.lognormal(mu, self.sigma)
+            return int(np.clip(np.round(length), 1, cap))
+
+        turns: list[tuple] = []
+        for session_id in range(self.num_sessions):
+            arrival = float(starts[session_id])
+            slo_class = str(classes[session_id])
+            prefix = 0
+            emitted: list[tuple] = []
+            for turn_index in range(int(turn_counts[session_id])):
+                new_input = sample(self.mean_new_input, input_cap)
+                output = sample(self.mean_output, output_cap)
+                think = float(generator.exponential(self.mean_think_s))
+                if prefix + new_input + output > self.max_context:
+                    break  # context budget exhausted: session ends early
+                input_len = prefix + new_input
+                emitted.append((arrival, session_id, turn_index, prefix,
+                                input_len, output, slo_class))
+                prefix = input_len + output
+                arrival += think + (new_input + output) \
+                    / self.service_tokens_per_s
+            for position, turn in enumerate(emitted):
+                turns.append(turn + (position == len(emitted) - 1,))
+        turns.sort(key=lambda turn: (turn[0], turn[1], turn[2]))
+        return turns
+
+
+def sessions(num_sessions: int = 32, rate: float | None = None,
+             **kwargs) -> SessionTrace:
+    """Build a :class:`SessionTrace` workload spec.
+
+    The ``workload=`` entry point of
+    :func:`~repro.experiments.serving.serving_rate_sweep`::
+
+        serving_rate_sweep(workload=sessions(32, mean_turns=3.0,
+                                             interactive_fraction=0.5),
+                           slo_classes={...})
+
+    ``rate=None`` leaves the session arrival rate to the sweep's rate axis.
+    """
+    return SessionTrace(num_sessions=num_sessions, rate=rate, **kwargs)
+
+
+def replay_requests(records, keep_ids: bool = True) -> list[Request]:
+    """Rebuild an arrival trace from completed-request records.
+
+    Turns any iterable of records exposing ``request_id``,
+    ``arrival_time``, ``input_len``, ``output_len``, and ``slo_class``
+    (e.g. :class:`~repro.serving.trace.RequestRecord` from a
+    ``record_mode="full"`` trace) back into a sorted
+    :class:`~repro.workloads.arrivals.Request` list, so one serve's
+    workload can be replayed against a different system, hardware, or
+    engine configuration.  ``keep_ids=False`` renumbers requests by
+    arrival order instead of keeping the recorded ids.
+    """
+    ordered = sorted(records,
+                     key=lambda r: (r.arrival_time, r.request_id))
+    return [
+        Request(request_id=record.request_id if keep_ids else index,
+                arrival_time=record.arrival_time,
+                input_len=record.input_len, output_len=record.output_len,
+                slo_class=getattr(record, "slo_class", SLO_CLASSES[0]))
+        for index, record in enumerate(ordered)
+    ]

@@ -1,0 +1,89 @@
+"""Tests for tools/check_docs_links.py (the CI dangling-link gate)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOL = Path(__file__).resolve().parent.parent / "tools" / \
+    "check_docs_links.py"
+spec = importlib.util.spec_from_file_location("check_docs_links", TOOL)
+checker = importlib.util.module_from_spec(spec)
+sys.modules["check_docs_links"] = checker
+spec.loader.exec_module(checker)
+
+REPO_ROOT = TOOL.parent.parent
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+class TestAnchors:
+    @pytest.mark.parametrize("heading,anchor", [
+        ("Plain Words", "plain-words"),
+        ("The `serving_rate_sweep` experiment",
+         "the-serving_rate_sweep-experiment"),
+        ("SLO classes & preemption", "slo-classes--preemption"),
+        ("Epoch pricing (fast path)", "epoch-pricing-fast-path"),
+    ])
+    def test_github_anchor(self, heading, anchor):
+        assert checker.github_anchor(heading) == anchor
+
+    def test_duplicate_headings_get_suffixes(self, tmp_path):
+        page = write(tmp_path, "page.md",
+                     "# Setup\n\n## Setup\n\ntext\n\n## Setup\n")
+        assert checker.heading_anchors(page) == \
+            {"setup", "setup-1", "setup-2"}
+
+    def test_headings_inside_fences_ignored(self, tmp_path):
+        page = write(tmp_path, "page.md",
+                     "# Real\n\n```text\n# Not A Heading\n```\n")
+        assert checker.heading_anchors(page) == {"real"}
+
+
+class TestChecker:
+    def test_clean_tree_passes(self, tmp_path, capsys):
+        write(tmp_path, "docs/a.md",
+              "# A\n\n## Section One\n\n[b](b.md)\n"
+              "[deep](b.md#details)\n[self](#section-one)\n"
+              "[up](../top.md)\n[ext](https://example.com/gone.md)\n")
+        write(tmp_path, "docs/b.md", "# B\n\n## Details\n")
+        write(tmp_path, "top.md", "# Top\n")
+        assert checker.main([str(tmp_path / "docs"),
+                             str(tmp_path / "top.md")]) == 0
+        assert "resolve" in capsys.readouterr().out
+
+    def test_broken_path_fails(self, tmp_path, capsys):
+        write(tmp_path, "docs/a.md", "# A\n\n[gone](missing.md)\n")
+        assert checker.main([str(tmp_path / "docs")]) == 1
+        assert "missing.md" in capsys.readouterr().err
+
+    def test_dangling_anchor_fails(self, tmp_path, capsys):
+        write(tmp_path, "docs/a.md", "# A\n\n[bad](b.md#no-such-section)\n")
+        write(tmp_path, "docs/b.md", "# B\n\n## Real Section\n")
+        assert checker.main([str(tmp_path / "docs")]) == 1
+        assert "no-such-section" in capsys.readouterr().err
+
+    def test_dangling_in_page_anchor_fails(self, tmp_path):
+        write(tmp_path, "docs/a.md", "# A\n\n[bad](#nowhere)\n")
+        assert checker.main([str(tmp_path / "docs")]) == 1
+
+    def test_links_inside_fences_ignored(self, tmp_path):
+        write(tmp_path, "docs/a.md",
+              "# A\n\n```python\nx = '[link](missing.md)'\n```\n")
+        assert checker.main([str(tmp_path / "docs")]) == 0
+
+    def test_non_markdown_target_checks_path_only(self, tmp_path):
+        write(tmp_path, "docs/a.md", "# A\n\n[src](pkg/mod.py#L10)\n")
+        write(tmp_path, "docs/pkg/mod.py", "x = 1\n")
+        assert checker.main([str(tmp_path / "docs")]) == 0
+
+    def test_repo_docs_have_no_dangling_links(self):
+        # The gate CI actually runs, against the real documentation tree.
+        assert checker.main([str(REPO_ROOT / "docs"),
+                             str(REPO_ROOT / "README.md")]) == 0

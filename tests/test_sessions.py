@@ -1,0 +1,323 @@
+"""Tests for multi-turn sessions, prefix reuse, and SLO-class preemption.
+
+Pins the PR's tentpole contracts: session traces lower to the exact
+single-shot stream when reuse is off (hypothesis invariant), prefix-reuse
+admission charges only the suffix and reports hit/miss/evicted ledgers,
+priority preemption lifts interactive-tier goodput over FIFO at equal GPU
+count, and — the regression that matters most — preemption-free serves
+stay bit-identical to the event core's frozen golden pin.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._common import ConfigurationError
+from repro.baselines import FlexGenSystem
+from repro.cluster import ReplicaGroup, Router
+from repro.core.engine import AlisaSystem
+from repro.hardware.presets import V100_16GB_NODE
+from repro.serving import PREEMPTION_MODES, ContinuousBatchingEngine
+from repro.workloads.arrivals import SLO_CLASSES, generate_requests
+from repro.workloads.sessions import (
+    SessionRequest,
+    SessionTrace,
+    replay_requests,
+    sessions,
+)
+
+MODEL = "opt-6.7b"
+
+
+def engine(system=FlexGenSystem, *, max_batch_size=None, preemption=None,
+           prefix_reuse=True, **kwargs) -> ContinuousBatchingEngine:
+    return ContinuousBatchingEngine(
+        system(MODEL, V100_16GB_NODE, **kwargs),
+        max_batch_size=max_batch_size, preemption=preemption,
+        prefix_reuse=prefix_reuse)
+
+
+def chat(num_sessions=12, rate=2.0, seed=3, **kwargs) -> SessionTrace:
+    kwargs.setdefault("interactive_fraction", 0.5)
+    kwargs.setdefault("mean_turns", 3.0)
+    kwargs.setdefault("max_context", 1024)
+    kwargs.setdefault("mean_new_input", 48)
+    kwargs.setdefault("mean_output", 64)
+    return sessions(num_sessions, rate, seed=seed, **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# Lowering contract
+# --------------------------------------------------------------------- #
+class TestSessionLowering:
+    def test_turns_sorted_with_positional_ids(self):
+        turns = chat().requests()
+        assert [t.request_id for t in turns] == list(range(len(turns)))
+        arrivals = [t.arrival_time for t in turns]
+        assert arrivals == sorted(arrivals)
+
+    def test_prefix_is_previous_context(self):
+        by_session: dict[int, list[SessionRequest]] = {}
+        for turn in chat().requests():
+            by_session.setdefault(turn.session_id, []).append(turn)
+        for turns in by_session.values():
+            turns.sort(key=lambda t: t.turn_index)
+            assert turns[0].prefix_len == 0
+            assert turns[-1].final_turn
+            for prev, cur in zip(turns, turns[1:]):
+                assert not prev.final_turn
+                assert cur.prefix_len == prev.input_len + prev.output_len
+                assert cur.suffix_len >= 1
+
+    def test_context_cap_respected(self):
+        trace = chat(max_context=512)
+        assert all(t.max_seq_len <= 512 for t in trace.requests())
+
+    def test_slo_class_constant_per_session(self):
+        classes: dict[int, set] = {}
+        for turn in chat().requests():
+            classes.setdefault(turn.session_id, set()).add(turn.slo_class)
+        assert all(len(seen) == 1 for seen in classes.values())
+        assert set().union(*classes.values()) <= set(SLO_CLASSES)
+
+    def test_rateless_spec_needs_with_rate(self):
+        spec = sessions(8)
+        with pytest.raises(ConfigurationError, match="no arrival rate"):
+            spec.requests()
+        assert spec.with_rate(2.0).num_turns > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sessions(8, 2.0, interactive_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            sessions(8, 2.0, mean_turns=0.5)
+        with pytest.raises(ConfigurationError):
+            SessionRequest(request_id=0, arrival_time=0.0, input_len=4,
+                           output_len=4, prefix_len=4)
+
+    @given(num_sessions=st.integers(1, 16),
+           seed=st.integers(0, 2**16),
+           mean_turns=st.floats(1.0, 6.0),
+           interactive_fraction=st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_reuse_off_equals_single_shot(self, num_sessions, seed,
+                                          mean_turns, interactive_fraction):
+        # The ISSUE invariant: disabling prefix reuse in the lowering gives
+        # a trace request-for-request identical to the single-shot view on
+        # every Request field — a session-blind stack sees no difference.
+        trace = sessions(num_sessions, 2.0, seed=seed, mean_turns=mean_turns,
+                         interactive_fraction=interactive_fraction)
+        lowered = trace.requests(prefix_reuse=False)
+        flat = trace.single_shot()
+        assert len(lowered) == len(flat)
+        for turn, single in zip(lowered, flat):
+            assert turn.prefix_len == 0 and turn.final_turn
+            assert dataclasses.astuple(single) == (
+                turn.request_id, turn.arrival_time, turn.input_len,
+                turn.output_len, turn.slo_class)
+
+    def test_replay_requests_round_trip(self):
+        trace = engine().serve(chat().requests())
+        replayed = replay_requests(trace.records)
+        assert [r.request_id for r in replayed] == \
+            sorted(r.request_id for r in replayed)
+        by_id = {r.request_id: r for r in trace.records}
+        for request in replayed:
+            record = by_id[request.request_id]
+            assert request.arrival_time == record.arrival_time
+            assert request.input_len == record.input_len
+            assert request.output_len == record.output_len
+            assert request.slo_class == record.slo_class
+
+
+# --------------------------------------------------------------------- #
+# Prefix-reuse admission
+# --------------------------------------------------------------------- #
+class TestPrefixReuse:
+    def test_hit_ledger_and_metadata(self):
+        trace = engine().serve(chat().requests())
+        stats = trace.metadata["prefix_cache"]
+        assert stats["hits"] + stats["misses"] > 0
+        assert stats["hit_rate"] == pytest.approx(
+            stats["hits"] / (stats["hits"] + stats["misses"]))
+        assert stats["reused_tokens"] > 0
+        assert trace.prefix_hit_rate == pytest.approx(stats["hit_rate"])
+        hits = [r for r in trace.records if r.prefix_hit]
+        assert len(hits) == stats["hits"]
+        assert all(r.prefix_len > 0 for r in hits)
+
+    def test_reuse_improves_on_single_shot_serve(self):
+        # Charging only the suffix KV + prefill must not be slower than
+        # serving the equivalent single-shot trace from scratch.
+        workload = chat()
+        reused = engine().serve(workload.requests())
+        cold = engine().serve(workload.single_shot())
+        assert reused.metadata["prefix_cache"]["hits"] > 0
+        assert reused.duration <= cold.duration
+        assert "prefix_cache" not in cold.metadata
+
+    def test_reuse_disabled_engine_matches_single_shot(self):
+        workload = chat()
+        blind = engine(prefix_reuse=False).serve(workload.requests())
+        cold = engine().serve(workload.single_shot())
+        assert blind.summary() == cold.summary()
+        # Declared prefixes are still judged — they just never hit, because
+        # a reuse-disabled engine retains nothing.
+        stats = blind.metadata["prefix_cache"]
+        assert stats["hits"] == 0 and stats["misses"] > 0
+
+    def test_event_and_clock_paths_agree_on_sessions(self):
+        workload = chat()
+        trace_event = engine().serve(workload.requests())
+        trace_clock = engine(exact_stepping=True).serve(workload.requests())
+        assert trace_event.records == trace_clock.records
+        assert trace_event.metadata["prefix_cache"] == \
+            trace_clock.metadata["prefix_cache"]
+
+    def test_alisa_sessions_event_clock_parity(self):
+        def build(model, node, **kwargs):
+            return AlisaSystem(model, node, kv_sparsity=0.8, **kwargs)
+        workload = chat(num_sessions=8)
+        trace_event = engine(build).serve(workload.requests())
+        trace_clock = engine(build, exact_stepping=True).serve(
+            workload.requests())
+        assert trace_event.records == trace_clock.records
+
+
+# --------------------------------------------------------------------- #
+# Priority classes and preemption
+# --------------------------------------------------------------------- #
+class TestPreemption:
+    CONTENDED = dict(num_sessions=24, rate=8.0, seed=5,
+                     interactive_fraction=0.4, mean_turns=3.0,
+                     max_context=1024, mean_new_input=64, mean_output=96)
+
+    def test_unknown_mode_and_clock_loop_rejected(self):
+        with pytest.raises(ConfigurationError, match="preemption"):
+            engine(preemption="swap")
+        with pytest.raises(ConfigurationError, match="exact_stepping"):
+            engine(preemption="retain", exact_stepping=True)
+        assert set(PREEMPTION_MODES) == {None, "retain", "recompute"}
+
+    @pytest.mark.parametrize("mode", ["retain", "recompute"])
+    def test_interactive_goodput_improves_over_fifo(self, mode):
+        # The ISSUE acceptance bar: at equal GPU count, letting interactive
+        # turns preempt batch work at epoch boundaries must lift the
+        # interactive tier's goodput over FIFO admission.
+        slos = {"interactive": (2.0, 0.1), "batch": (20.0, 1.0)}
+        requests = chat(**self.CONTENDED).requests()
+        fifo = engine(max_batch_size=4).serve(requests, class_slos=slos)
+        preempting = engine(max_batch_size=4, preemption=mode).serve(
+            requests, class_slos=slos)
+        assert preempting.num_preemptions > 0
+        assert fifo.num_preemptions == 0
+        fifo_classes = fifo.per_class_summary(slos)
+        preempt_classes = preempting.per_class_summary(slos)
+        assert preempt_classes["interactive"]["goodput_tokens_per_s"] > \
+            fifo_classes["interactive"]["goodput_tokens_per_s"]
+        assert preempt_classes["interactive"]["mean_ttft_s"] < \
+            fifo_classes["interactive"]["mean_ttft_s"]
+        meta = preempting.metadata["preemption"]
+        assert meta["mode"] == mode
+        assert meta["count"] == preempting.num_preemptions
+        if mode == "retain":
+            assert meta["swap_bytes"] > 0
+        else:
+            assert meta["recompute_tokens"] > 0
+
+    def test_preempted_work_still_completes(self):
+        requests = chat(**self.CONTENDED).requests()
+        trace = engine(max_batch_size=4, preemption="recompute").serve(
+            requests)
+        assert trace.num_requests == len(requests)
+        assert sum(r.preemptions for r in trace.records) == \
+            trace.num_preemptions
+
+    def test_uncontended_preemption_engine_is_bit_identical(self):
+        # With no contention, a preemption-enabled engine must never fire
+        # and its trace must equal the FIFO engine's bit-for-bit.
+        workload = chat(num_sessions=6, rate=0.2)
+        fifo = engine().serve(workload.requests())
+        armed = engine(preemption="retain").serve(workload.requests())
+        assert armed.num_preemptions == 0
+        assert armed.records == fifo.records
+        assert "preemption" in armed.metadata  # mode recorded even if idle
+
+
+# --------------------------------------------------------------------- #
+# PR-6 golden pin: the single-shot path is untouched
+# --------------------------------------------------------------------- #
+class TestGoldenPin:
+    def test_preemption_free_serve_matches_pr6_pin(self):
+        # Frozen observables from the event-core PR: the sessions/priority
+        # machinery must degrade to `+0` arithmetic on plain traces.
+        requests = generate_requests(16, 4.0, pattern="bursty", seed=3,
+                                     max_len=512)
+        trace = engine().serve(requests)
+        assert trace.num_requests == 16
+        assert trace.generated_tokens == 2937
+        assert trace.duration == pytest.approx(12.026624695478137, abs=1e-12)
+        assert trace.metadata["kv_budget_tokens"] == 4946
+        assert trace.metadata["peak_reserved_tokens"] == 4896
+        assert trace.metadata["num_epochs"] == 24
+        assert trace.metadata["num_decode_steps"] == 605
+        assert trace.prefix_hit_rate == 0.0
+        assert trace.num_preemptions == 0
+        assert "prefix_cache" not in trace.metadata
+        assert all(r.slo_class == SLO_CLASSES[0] and r.prefix_len == 0
+                   and not r.prefix_hit and r.preemptions == 0
+                   for r in trace.records)
+
+
+# --------------------------------------------------------------------- #
+# Per-class accounting and cluster routing
+# --------------------------------------------------------------------- #
+class TestClassesAndCluster:
+    def test_streaming_per_class_matches_full(self):
+        slos = {"interactive": (2.0, 0.1), "batch": (10.0, 0.5)}
+        requests = chat().requests()
+        full = engine().serve(requests, class_slos=slos)
+        streaming = engine().serve(requests, record_mode="streaming",
+                                   class_slos=slos)
+        # Quantiles are P-squared estimates in streaming mode; every exact
+        # aggregate — including the new session columns — must agree.
+        full_summary, stream_summary = full.summary(), streaming.summary()
+        for key in ("num_requests", "generated_tokens", "duration_s",
+                    "throughput_tokens_per_s", "mean_queueing_delay_s",
+                    "prefix_hit_rate", "num_preemptions"):
+            assert stream_summary[key] == full_summary[key], key
+        assert streaming.per_class_summary(slos) == \
+            full.per_class_summary(slos)
+
+    def test_session_affinity_keeps_hit_rate(self):
+        workload = chat(num_sessions=16)
+
+        def factory(node, parallelism):
+            return FlexGenSystem(MODEL, node, parallelism=parallelism)
+
+        def serve(policy):
+            group = ReplicaGroup.from_layout(factory, "2x(none)",
+                                             V100_16GB_NODE)
+            return group.serve(workload.requests(), policy=policy)
+
+        sticky = serve("session-affinity")
+        scattered = serve("jsq")
+        assert sticky.prefix_hit_rate == 1.0
+        assert scattered.prefix_hit_rate < sticky.prefix_hit_rate
+
+    def test_affinity_pin_dropped_on_final_turn(self):
+        router = Router(2, policy="session-affinity")
+        turns = chat(num_sessions=4).requests()
+        for turn in turns:
+            router.assign(turn, [0.1, 0.1])
+        assert router._sessions == {}  # every session ended
+
+    def test_affinity_routes_plain_requests_by_jsq(self):
+        plain = generate_requests(12, 4.0, seed=0, max_len=256)
+        sticky = Router(2, policy="session-affinity", seed=0)
+        jsq = Router(2, policy="jsq", seed=0)
+        picks = [(sticky.assign(r, [0.1, 0.1]), jsq.assign(r, [0.1, 0.1]))
+                 for r in plain]
+        assert all(a == b for a, b in picks)

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Fail CI on dangling intra-repository links in the documentation.
+
+The docs cross-reference each other heavily (``[serving.md](serving.md)``,
+``[docs/workloads.md](docs/workloads.md#slo-classes-and-preemption)``),
+and a renamed file or retitled section silently strands every link that
+pointed at it.  This checker extracts every inline Markdown link from the
+given files (or every ``*.md`` under a given directory) and verifies, for
+each *relative* target, that
+
+* the linked path exists (resolved against the linking file's directory),
+  and
+* when a ``#fragment`` is present and the target is a Markdown file, the
+  fragment matches a GitHub-style anchor of some heading in that file
+  (lowercased, punctuation stripped, spaces to hyphens, ``-N`` suffixes
+  for duplicates).
+
+External links (any target with a URL scheme, or protocol-relative
+``//...``) are skipped: this tool gates what the repository can promise —
+its own tree — not the wider internet.  Links inside fenced code blocks
+are ignored, matching how the snippet checker treats fences.
+
+Usage::
+
+    python tools/check_docs_links.py docs README.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+FENCE = "```"
+#: Inline links/images: ``[text](target)`` — target taken up to the first
+#: unescaped closing paren; titles (``[x](y "t")``) are split off later.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\)[^()\s]*)*)\)")
+SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+
+def github_anchor(heading: str) -> str:
+    """The anchor GitHub generates for a heading (before de-duplication)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # inline code
+    text = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: pathlib.Path) -> set[str]:
+    """Every anchor the rendered page exposes, duplicates suffixed ``-N``."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if line.strip().startswith(FENCE):
+            in_fence = not in_fence
+            continue
+        match = None if in_fence else HEADING.match(line)
+        if match is None:
+            continue
+        anchor = github_anchor(match.group(2))
+        seen = counts.get(anchor, 0)
+        counts[anchor] = seen + 1
+        anchors.add(anchor if seen == 0 else f"{anchor}-{seen}")
+    return anchors
+
+
+def extract_links(path: pathlib.Path) -> list[tuple[int, str]]:
+    """``(line_number, target)`` for every inline link outside fences."""
+    links: list[tuple[int, str]] = []
+    in_fence = False
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.strip().startswith(FENCE):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1).split(" ")[0].strip("<>")
+            links.append((number, target))
+    return links
+
+
+def check_file(path: pathlib.Path, anchors_of) -> list[str]:
+    """Dangling-link descriptions for one Markdown file."""
+    errors: list[str] = []
+    for number, target in extract_links(path):
+        if SCHEME.match(target) or target.startswith("//"):
+            continue  # external: not this tool's promise to keep
+        where = f"{path}:{number}"
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                errors.append(f"{where}: broken link target {target!r} "
+                              f"({resolved} does not exist)")
+                continue
+        else:
+            resolved = path.resolve()  # pure in-page anchor: #section
+        if fragment and resolved.suffix == ".md":
+            if fragment not in anchors_of(resolved):
+                errors.append(f"{where}: dangling anchor {target!r} "
+                              f"(no heading in {resolved.name} renders "
+                              f"#{fragment})")
+    return errors
+
+
+def collect_files(targets: list[str]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for target in targets:
+        path = pathlib.Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix == ".md":
+            files.append(path)
+        else:
+            raise SystemExit(f"{target}: not a Markdown file or directory")
+    if not files:
+        raise SystemExit(f"no Markdown files found under {targets}")
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("targets", nargs="+",
+                        help="Markdown files or directories to check")
+    args = parser.parse_args(argv)
+
+    anchor_cache: dict[pathlib.Path, set[str]] = {}
+
+    def anchors_of(path: pathlib.Path) -> set[str]:
+        if path not in anchor_cache:
+            anchor_cache[path] = heading_anchors(path)
+        return anchor_cache[path]
+
+    errors: list[str] = []
+    checked = 0
+    for path in collect_files(args.targets):
+        checked += 1
+        errors.extend(check_file(path, anchors_of))
+
+    if errors:
+        print(f"{len(errors)} dangling links in {checked} files:",
+              file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"all intra-repository links resolve across {checked} files.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
