@@ -236,6 +236,13 @@ class ReplicaGroup:
         ``requests`` is a list or a bounded-memory
         :class:`~repro.workloads.arrivals.RequestStream`.
 
+        ``requests`` may also be a closed-loop continuation source (e.g.
+        :class:`~repro.workloads.sessions.ClosedLoopSessions`): arrivals
+        then depend on the cluster's own simulated completions, which
+        every replica feeds back through the source's ``on_completion``
+        observer, and replicas run with ``eager_epochs=True`` (see
+        :func:`~repro.serving.events.drive`).
+
         ``record_mode="full"`` returns a :class:`ClusterTrace` with one
         record per request; ``"streaming"`` a
         :class:`~repro.cluster.trace.StreamingClusterTrace` in O(1) memory
@@ -255,7 +262,20 @@ class ReplicaGroup:
             )
         simulator = self.engines[0].simulator
 
-        if isinstance(requests, RequestStream):
+        closed_loop = hasattr(requests, "pop_next")
+        if closed_loop:
+            # Closed-loop source: arrivals are popped live (they depend on
+            # completions), routing runs live, and every replica's budget
+            # probe uses the source's global length bounds.
+            bounds = requests.length_bounds
+            share_bounds = [bounds] * self.num_replicas
+            source = requests
+            route, router = self._route_fn(policy, seed)
+            total_budget = sum(
+                engine.kv_budget_tokens_for_bounds(*bounds)
+                for engine in self.engines)
+            upfront = []
+        elif isinstance(requests, RequestStream):
             # Streams never materialize: every replica's budget probe uses
             # the stream's global length bounds, and routing runs live.
             bounds = requests.length_bounds
@@ -301,6 +321,19 @@ class ReplicaGroup:
                 ttft_slo_s=ttft_slo_s, tpot_slo_s=tpot_slo_s,
                 class_slos=class_slos)
             observer = cluster_trace.observe
+        if closed_loop:
+            # Every completion must reach the source so it can schedule
+            # the session's next turn; the cluster-level streaming sink
+            # (when any) still sees each record exactly once.
+            if observer is None:
+                observer = requests.on_completion
+            else:
+                cluster_observe = observer
+
+                def observer(record, _sink=cluster_observe,
+                             _feedback=requests.on_completion):
+                    _sink(record)
+                    _feedback(record)
         runs = []
         for engine, share in zip(self.engines, share_bounds):
             trace = engine.make_trace(record_mode, ttft_slo_s, tpot_slo_s,
@@ -310,7 +343,8 @@ class ReplicaGroup:
             else:
                 runs.append(engine.start_run(trace, max_input_len=share[0],
                                              max_output_len=share[1],
-                                             observer=observer))
+                                             observer=observer,
+                                             eager_epochs=closed_loop))
         for request, index in upfront:
             # Legacy contract: an impossible request raises before any
             # simulation happens (streams check at their arrival instead).

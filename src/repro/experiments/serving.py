@@ -110,7 +110,9 @@ def serving_rate_sweep(model: str = "opt-6.7b",
                        record_mode: str = "full",
                        workload=None,
                        slo_classes: dict | None = None,
-                       preemption: str | None = None) -> ExperimentResult:
+                       preemption: str | None = None,
+                       prefill_chunk_tokens: int | None = None,
+                       closed_loop: bool = False) -> ExperimentResult:
     """Sweep the request arrival rate and report serving metrics.
 
     ``input_len``/``output_len`` of ``None`` sample ShareGPT-style
@@ -133,6 +135,16 @@ def serving_rate_sweep(model: str = "opt-6.7b",
     interactive arrivals may evict running batch requests at epoch
     boundaries (see ``ContinuousBatchingEngine``); incompatible with
     ``exact_stepping=True``.
+
+    ``prefill_chunk_tokens`` builds every engine with chunked prefill:
+    prefills are split into budget-sized chunks interleaved with decode,
+    bounding any preemptor's wait to one chunk's priced time (the
+    ``p99_preemption_latency_s`` and ``prefill_chunks_per_request``
+    columns report the effect).  ``closed_loop=True`` serves each rate
+    through ``workload.closed_loop()`` — turn ``t+1`` of every session
+    arrives at turn ``t``'s *simulated* completion plus think time —
+    and requires a session ``workload``.  Both are event-path only
+    (incompatible with ``exact_stepping=True``).
 
     ``parallelism`` entries (``"none"``, ``"tp-2"``, ``"pp-4"``, ...) are
     served on an ``xN`` node derived from the model's preset at equal
@@ -173,6 +185,12 @@ def serving_rate_sweep(model: str = "opt-6.7b",
     base_hardware = hardware_for_model(model)
     link = get_interconnect(interconnect)
     policy = SchedulePolicy(exact=exact_schedules)
+    if closed_loop and (workload is None
+                        or not hasattr(workload, "closed_loop")):
+        raise ConfigurationError(
+            "closed_loop=True needs a session workload carrying a "
+            "closed_loop() source (pass workload=sessions(...))"
+        )
     if cluster is None:
         if routing is not None:
             raise ConfigurationError(
@@ -196,7 +214,9 @@ def serving_rate_sweep(model: str = "opt-6.7b",
             pp_microbatches=pp_microbatches,
             require_equal_gpus=require_equal_gpus,
             record_mode=record_mode, workload=workload,
-            slo_classes=slo_classes, preemption=preemption)
+            slo_classes=slo_classes, preemption=preemption,
+            prefill_chunk_tokens=prefill_chunk_tokens,
+            closed_loop=closed_loop)
     engines: dict[tuple[str, str], ContinuousBatchingEngine] = {}
     specs: dict[str, ParallelismSpec] = {}
     for entry in parallelism:
@@ -207,13 +227,20 @@ def serving_rate_sweep(model: str = "opt-6.7b",
             simulator = _build_simulator(system_name, build, model, hardware,
                                          spec, policy, exact_stepping)
             engines[(spec.label, system_name)] = \
-                ContinuousBatchingEngine(simulator, preemption=preemption)
+                ContinuousBatchingEngine(
+                    simulator, preemption=preemption,
+                    prefill_chunk_tokens=prefill_chunk_tokens)
     for rate in rates:
-        requests = _rate_requests(rate, workload, num_requests, pattern, seed,
-                                  input_len, output_len)
+        # Closed-loop sources are single-use (arrivals are consumed as the
+        # engine feeds completions back), so each serve gets a fresh one.
+        requests = (None if closed_loop else
+                    _rate_requests(rate, workload, num_requests, pattern,
+                                   seed, input_len, output_len))
         for (label, system_name), engine in engines.items():
             spec = specs[label]
-            trace = engine.serve(requests, record_mode=record_mode,
+            source = (workload.with_rate(rate).closed_loop()
+                      if closed_loop else requests)
+            trace = engine.serve(source, record_mode=record_mode,
                                  ttft_slo_s=ttft_slo_s,
                                  tpot_slo_s=tpot_slo_s,
                                  class_slos=slo_classes)
@@ -244,6 +271,10 @@ def serving_rate_sweep(model: str = "opt-6.7b",
                 comm_time_share=trace.metadata["comm_time_share"],
                 prefix_hit_rate=summary["prefix_hit_rate"],
                 num_preemptions=summary["num_preemptions"],
+                p99_preemption_latency_s=summary[
+                    "p99_preemption_latency_s"],
+                prefill_chunks_per_request=summary[
+                    "prefill_chunks_per_request"],
                 **_per_class_columns(trace, slo_classes),
                 **{f"solver_{name}": solver.get(name, 0)
                    for name in SOLVER_STAT_COLUMNS},
@@ -256,7 +287,9 @@ def serving_rate_sweep(model: str = "opt-6.7b",
     result.notes["parallelism"] = tuple(specs)
     result.notes["interconnect"] = link.name
     _note_workload(result, workload, slo_classes, preemption,
-                   input_len, output_len)
+                   input_len, output_len,
+                   prefill_chunk_tokens=prefill_chunk_tokens,
+                   closed_loop=closed_loop)
     return result
 
 
@@ -280,12 +313,15 @@ def _per_class_columns(trace, slo_classes) -> dict:
 
 
 def _note_workload(result, workload, slo_classes, preemption,
-                   input_len, output_len) -> None:
+                   input_len, output_len, prefill_chunk_tokens=None,
+                   closed_loop=False) -> None:
     """Workload/SLO-class notes shared by both sweep axes."""
     result.notes["workload"] = ("sessions" if workload is not None
                                 else "single-shot")
     result.notes["slo_classes"] = (dict(slo_classes) if slo_classes else None)
     result.notes["preemption"] = preemption
+    result.notes["prefill_chunk_tokens"] = prefill_chunk_tokens
+    result.notes["closed_loop"] = closed_loop
     if workload is not None:
         result.notes["lengths"] = "sessions"
     else:
@@ -319,7 +355,8 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
                         exact_schedules, exact_stepping, cluster, routing,
                         pp_microbatches, require_equal_gpus,
                         record_mode="full", workload=None, slo_classes=None,
-                        preemption=None) -> ExperimentResult:
+                        preemption=None, prefill_chunk_tokens=None,
+                        closed_loop=False) -> ExperimentResult:
     """Cluster-axis body of :func:`serving_rate_sweep`.
 
     One :class:`ReplicaGroup` per (cluster entry, system), reused across
@@ -353,15 +390,19 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
         for system_name, build in SERVING_SYSTEMS.items():
             groups[(label, system_name)] = ReplicaGroup.from_layout(
                 factory_for(system_name, build), layout, base_hardware,
-                interconnect=link, seed=seed, preemption=preemption)
+                interconnect=link, seed=seed, preemption=preemption,
+                prefill_chunk_tokens=prefill_chunk_tokens)
 
     for rate in rates:
-        requests = _rate_requests(rate, workload, num_requests, pattern,
-                                  seed, input_len, output_len)
+        requests = (None if closed_loop else
+                    _rate_requests(rate, workload, num_requests, pattern,
+                                   seed, input_len, output_len))
         for (label, system_name), group in groups.items():
             layout = layouts[label]
             for route_policy in policies:
-                trace = group.serve(requests, policy=route_policy, seed=seed,
+                source = (workload.with_rate(rate).closed_loop()
+                          if closed_loop else requests)
+                trace = group.serve(source, policy=route_policy, seed=seed,
                                     record_mode=record_mode,
                                     ttft_slo_s=ttft_slo_s,
                                     tpot_slo_s=tpot_slo_s,
@@ -393,6 +434,10 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
                         trace.metadata["routing"]["dispatch_counts"]),
                     prefix_hit_rate=summary["prefix_hit_rate"],
                     num_preemptions=summary["num_preemptions"],
+                    p99_preemption_latency_s=summary[
+                        "p99_preemption_latency_s"],
+                    prefill_chunks_per_request=summary[
+                        "prefill_chunks_per_request"],
                     **_per_class_columns(trace, slo_classes),
                     **{f"solver_{name}": solver.get(name, 0)
                        for name in SOLVER_STAT_COLUMNS},
@@ -407,5 +452,7 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
     result.notes["interconnect"] = link.name
     result.notes["seed"] = seed
     _note_workload(result, workload, slo_classes, preemption,
-                   input_len, output_len)
+                   input_len, output_len,
+                   prefill_chunk_tokens=prefill_chunk_tokens,
+                   closed_loop=closed_loop)
     return result

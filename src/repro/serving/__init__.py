@@ -16,7 +16,16 @@ from repro.serving.engine import (
     ContinuousBatchingEngine,
     EngineRun,
 )
-from repro.serving.events import drive
+from repro.serving.events import (
+    ADMISSION,
+    ARRIVAL,
+    COMPLETION,
+    EPOCH_BOUNDARY,
+    PREEMPTION,
+    PREFILL_CHUNK,
+    ContinuationSource,
+    drive,
+)
 from repro.serving.sketches import (
     DEFAULT_QUANTILES,
     P2Quantile,
@@ -33,8 +42,15 @@ from repro.serving.trace import (
 from repro.workloads.arrivals import Request, RequestStream
 
 __all__ = [
+    "ADMISSION",
+    "ARRIVAL",
+    "COMPLETION",
     "DEFAULT_QUANTILES",
+    "EPOCH_BOUNDARY",
+    "PREEMPTION",
     "PREEMPTION_MODES",
+    "PREFILL_CHUNK",
+    "ContinuationSource",
     "ContinuousBatchingEngine",
     "EngineRun",
     "P2Quantile",

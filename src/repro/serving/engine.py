@@ -109,7 +109,7 @@ import numpy as np
 
 from repro._common import ConfigurationError, validate_positive
 from repro.serving.events import (ADMISSION, COMPLETION, EPOCH_BOUNDARY,
-                                  PREEMPTION, drive)
+                                  PREEMPTION, PREFILL_CHUNK, drive)
 from repro.serving.sketches import DEFAULT_QUANTILES, StreamingTrace
 from repro.serving.trace import (
     RequestRecord,
@@ -145,6 +145,13 @@ class _RunningRequest:
     far when a ``"recompute"`` preemption dropped the KV, and 0 when a
     ``"retain"`` preemption kept it in host memory (the KV is swapped back
     instead).  ``swap_tokens`` sizes that pending swap-in.
+
+    Under chunked prefill (``prefill_chunk_tokens=N``) ``chunk_remaining``
+    is how many of those prefill tokens are still waiting in the run's
+    chunk backlog, ``prefill_chunks`` counts the chunk events this request
+    participated in, and ``preempting`` marks a request whose admission
+    evicted running lower-priority work (its queueing delay is the
+    preemption latency the chunk budget bounds).
     """
 
     request: Request
@@ -155,6 +162,9 @@ class _RunningRequest:
     prefix_hit: bool = False
     preemptions: int = 0
     swap_tokens: int = 0
+    chunk_remaining: int = 0
+    prefill_chunks: int = 0
+    preempting: bool = False
 
     @property
     def context_length(self) -> int:
@@ -186,7 +196,7 @@ class _PrefixCache:
     """
 
     __slots__ = ("entries", "node_total", "shard_total", "hits", "misses",
-                 "evicted", "reused_tokens")
+                 "evicted", "reused_tokens", "retained", "consumed")
 
     def __init__(self) -> None:
         self.entries: dict[int, tuple[int, int]] = {}
@@ -196,6 +206,8 @@ class _PrefixCache:
         self.misses = 0
         self.evicted = 0
         self.reused_tokens = 0
+        self.retained = 0
+        self.consumed = 0
 
     @property
     def touched(self) -> bool:
@@ -204,10 +216,25 @@ class _PrefixCache:
 
     def retain(self, session_id: int, node_tokens: int,
                shard_tokens: int) -> None:
-        """Keep a completed turn's KV resident for the session's next turn."""
+        """Keep a completed turn's KV resident for the session's next turn.
+
+        When the session's turns overlapped (turn ``t+1`` was admitted — as
+        a miss — before turn ``t`` completed), an unconsumed entry for the
+        same session may still be resident.  The new retention supersedes
+        it: the old entry's tokens are freed from the ledger and the
+        supersession counts as an eviction, so retained entries always
+        balance against consumptions, evictions, and residents (the
+        conservation law pinned in ``tests/test_sessions.py``).
+        """
+        previous = self.entries.pop(session_id, None)
+        if previous is not None:
+            self.node_total -= previous[0]
+            self.shard_total -= previous[1]
+            self.evicted += 1
         self.entries[session_id] = (node_tokens, shard_tokens)
         self.node_total += node_tokens
         self.shard_total += shard_tokens
+        self.retained += 1
 
     def make_room(self, shard_delta: int, shard_reserved: int,
                   shard_limit: int) -> tuple[int, int]:
@@ -251,6 +278,7 @@ class _PrefixCache:
             node_delta -= tokens
             shard_delta -= shard_tokens
             hit = prefix_len > 0 and tokens == prefix_len
+            self.consumed += 1
         if prefix_len > 0:
             if hit:
                 self.hits += 1
@@ -262,11 +290,21 @@ class _PrefixCache:
         return node_delta - node_freed, shard_delta - shard_freed, hit
 
     def stats(self) -> dict:
-        """The ``metadata["prefix_cache"]`` payload."""
+        """The ``metadata["prefix_cache"]`` payload.
+
+        Conservation law: every retained entry is eventually consumed by an
+        admission, evicted (under pressure or by a superseding retention),
+        or still resident at the end of the serve — so
+        ``retained == consumed + evicted + resident`` always holds
+        (regression-pinned in ``tests/test_sessions.py``).
+        """
         judged = self.hits + self.misses
         return {"hits": self.hits, "misses": self.misses,
                 "evicted": self.evicted,
                 "reused_tokens": self.reused_tokens,
+                "retained": self.retained,
+                "consumed": self.consumed,
+                "resident": len(self.entries),
                 "hit_rate": self.hits / judged if judged else 0.0}
 
 
@@ -305,6 +343,17 @@ class ContinuousBatchingEngine:
         :class:`_PrefixCache`).  ``False`` frees every completed request's
         KV immediately, making session turns behave like unrelated
         requests.
+    prefill_chunk_tokens:
+        ``None`` (default) prefills each admission batch in one indivisible
+        pass (ORCA-style prioritized prefill).  An integer budget instead
+        splits every prefill into chunks of at most that many tokens,
+        interleaved with decode as ``PREFILL_CHUNK`` events: admission and
+        preemption run between chunks, so a higher-priority arrival waits
+        at most one chunk's priced time — bounded preemption latency
+        independent of prompt length.  Prefix-reuse hits compose (only the
+        suffix is chunked) and mid-prefill preemption retains or recomputes
+        completed chunks per ``preemption=``.  Event-path only: combining
+        it with ``exact_stepping=True`` raises.
 
     The number of KV shards equals the simulator node's ``gpu_count`` (the
     simulator's :class:`~repro.systems.cost.ParallelismSpec` already
@@ -316,7 +365,8 @@ class ContinuousBatchingEngine:
                  reserve_fraction: float = 0.05,
                  schedule_cache=None,
                  preemption: str | None = None,
-                 prefix_reuse: bool = True) -> None:
+                 prefix_reuse: bool = True,
+                 prefill_chunk_tokens: int | None = None) -> None:
         if max_batch_size is not None:
             validate_positive(max_batch_size=max_batch_size)
         if preemption not in PREEMPTION_MODES:
@@ -330,11 +380,20 @@ class ContinuousBatchingEngine:
                 "implemented on the event-driven path; it cannot be "
                 "combined with exact_stepping=True"
             )
+        if prefill_chunk_tokens is not None:
+            validate_positive(prefill_chunk_tokens=prefill_chunk_tokens)
+            if simulator.exact_stepping:
+                raise ConfigurationError(
+                    "chunked prefill schedules new event kinds and is only "
+                    "implemented on the event-driven path; it cannot be "
+                    "combined with exact_stepping=True"
+                )
         self.simulator = simulator
         self.max_batch_size = max_batch_size
         self.reserve_fraction = reserve_fraction
         self.preemption = preemption
         self.prefix_reuse = prefix_reuse
+        self.prefill_chunk_tokens = prefill_chunk_tokens
         self.num_shards = simulator.hardware.gpu_count
         if schedule_cache is not None:
             if not hasattr(simulator, "schedule_cache"):
@@ -494,6 +553,22 @@ class ContinuousBatchingEngine:
         """
         trace = self.make_trace(record_mode, ttft_slo_s, tpot_slo_s,
                                 class_slos=class_slos)
+        if hasattr(requests, "pop_next"):
+            # Closed-loop source (see events.ContinuationSource): future
+            # arrivals depend on this serve's own completions, which the
+            # run feeds back through the source's on_completion observer.
+            if self.simulator.exact_stepping:
+                raise ConfigurationError(
+                    "closed-loop sources are driven by the event loop and "
+                    "cannot be served with exact_stepping=True"
+                )
+            max_input, max_output = requests.length_bounds
+            run = self.start_run(trace, max_input_len=max_input,
+                                 max_output_len=max_output,
+                                 observer=requests.on_completion,
+                                 eager_epochs=True)
+            drive(requests, [run], lambda request: 0)
+            return run.finalize()
         if isinstance(requests, RequestStream):
             if self.simulator.exact_stepping:
                 raise ConfigurationError(
@@ -568,7 +643,7 @@ class ContinuousBatchingEngine:
 
     def start_run(self, trace, max_input_len: int | None = None,
                   max_output_len: int | None = None,
-                  observer=None) -> "EngineRun":
+                  observer=None, eager_epochs: bool = False) -> "EngineRun":
         """Begin one event-driven serve over this engine.
 
         ``max_input_len``/``max_output_len`` bound the lengths of every
@@ -577,9 +652,12 @@ class ContinuousBatchingEngine:
         builds an idle run that may never be offered a request (a replica a
         routing policy starved; it finalizes to the empty-trace metadata).
         ``observer`` is an extra per-record sink called after the trace
-        observes each completion (the cluster layer's streaming fan-out).
-        Drive the run (alone or merged with others) through
-        :func:`repro.serving.events.drive`, then call
+        observes each completion (the cluster layer's streaming fan-out,
+        or a closed-loop source's ``on_completion``).  ``eager_epochs``
+        must be True for runs driven by a closed-loop source: the run then
+        prices epochs without waiting for its next queue head (which may
+        depend on its own completions).  Drive the run (alone or merged
+        with others) through :func:`repro.serving.events.drive`, then call
         :meth:`EngineRun.finalize`.
         """
         if max_input_len is None or max_output_len is None:
@@ -587,7 +665,8 @@ class ContinuousBatchingEngine:
         else:
             budget = self.kv_budget_tokens_for_bounds(max_input_len,
                                                       max_output_len)
-        return EngineRun(self, trace, budget, observer=observer)
+        return EngineRun(self, trace, budget, observer=observer,
+                         eager_epochs=eager_epochs)
 
     def _serve_clock_loop(self, requests: list[Request], trace):
         """Retained clock-stepped serving loop (``exact_stepping=True``).
@@ -724,6 +803,34 @@ class ContinuousBatchingEngine:
             input_len=input_len,
             output_len=max(r.request.output_len for r in admitted),
             name="serving-prefill",
+        )
+        key = (workload.batch_size, workload.input_len, workload.output_len)
+        plan = self._prefill_plans.get(key)
+        if plan is None:
+            self.simulator.prepare(workload)
+            plan = self.simulator.plan_prefill(workload)
+            self._prefill_plans[key] = plan
+        time = self.simulator.prefill_timing(plan, workload, memory)
+        comm = self.simulator.parallel_comm_time(workload,
+                                                 query_len=workload.input_len)
+        return time, comm
+
+    def _chunk_time(self, parts: list[tuple[_RunningRequest, int]],
+                    memory: MemoryHierarchy) -> tuple[float, float]:
+        """Price one prefill chunk: ``parts`` are ``(wrapper, tokens)``.
+
+        A chunk is priced exactly like a prefill pass of its own shape —
+        batch of the participating requests, input length of the longest
+        slice — through the same plan cache (:attr:`_prefill_plans` is
+        keyed by shape, and plans are pure per shape), so a sweep's
+        repeated chunk shapes skip ``prepare`` just like whole prefills do.
+        Returns ``(wall_clock_time, communication_time)``.
+        """
+        workload = Workload(
+            batch_size=len(parts),
+            input_len=max(tokens for _, tokens in parts),
+            output_len=max(w.request.output_len for w, _ in parts),
+            name="serving-prefill-chunk",
         )
         key = (workload.batch_size, workload.input_len, workload.output_len)
         plan = self._prefill_plans.get(key)
@@ -890,6 +997,8 @@ class ContinuousBatchingEngine:
                 prefix_len=getattr(request, "prefix_len", 0),
                 prefix_hit=done.prefix_hit,
                 preemptions=done.preemptions,
+                preempting=done.preempting,
+                prefill_chunks=done.prefill_chunks,
             ))
         if finished:
             # The epoch ends here; serve() recomputes the reservation
@@ -923,7 +1032,8 @@ class EngineRun:
     """
 
     def __init__(self, engine: ContinuousBatchingEngine, trace,
-                 budget_tokens: int, observer=None) -> None:
+                 budget_tokens: int, observer=None,
+                 eager_epochs: bool = False) -> None:
         self.engine = engine
         self.trace = trace
         self._observer = observer
@@ -944,6 +1054,22 @@ class EngineRun:
         self._num_preemptions = 0
         self._swap_bytes = 0.0
         self._recompute_tokens = 0
+        #: Chunked prefill state (``engine.prefill_chunk_tokens`` set):
+        #: admitted requests whose prefill is still being chunked, in
+        #: admission order.  Decode epochs are scheduled only once the
+        #: backlog drains, so chunking preserves the inline-prefill
+        #: semantics that every admitted request finishes prefill before
+        #: the batch decodes.
+        self._chunking = engine.prefill_chunk_tokens is not None
+        self._prefill_backlog: deque[_RunningRequest] = deque()
+        self._num_chunks = 0
+        self._chunked_tokens = 0
+        self._max_chunk_s = 0.0
+        #: Closed-loop mode: never block awaiting the next queue head
+        #: (the head may depend on this run's own completions — blocking
+        #: would deadlock); epochs priced with an empty queue get no
+        #: arrival cut.
+        self._eager = eager_epochs
         self._clock = 0.0
         self._reserved = 0
         self._shard_reserved = 0
@@ -1019,6 +1145,9 @@ class EngineRun:
         event, self._event = self._event, None
         if event[0] == ADMISSION:
             self._clock = max(self._clock, event[1])
+        elif event[0] == PREFILL_CHUNK:
+            _, end, parts, _, comm = event
+            self._apply_chunk(end, parts, comm)
         else:
             _, end, steps, first, comm_per_step = event
             self._apply_epoch(end, steps, first, comm_per_step)
@@ -1066,10 +1195,20 @@ class EngineRun:
         if self._shard_reserved > self._peak_shard_reserved:
             self._peak_shard_reserved = self._shard_reserved
         if admitted:
-            prefill, prefill_comm = engine._prefill_time(admitted,
-                                                         self._memory)
-            self._clock += prefill
-            self._comm_time += prefill_comm
+            if self._chunking:
+                # Chunked prefill: nothing is priced here — the admitted
+                # requests join the chunk backlog and _schedule_chunk
+                # prices budget-sized slices, interleaving the next
+                # admission round between them.
+                for wrapper in admitted:
+                    if wrapper.prefill_tokens > 0:
+                        wrapper.chunk_remaining = wrapper.prefill_tokens
+                        self._prefill_backlog.append(wrapper)
+            else:
+                prefill, prefill_comm = engine._prefill_time(admitted,
+                                                             self._memory)
+                self._clock += prefill
+                self._comm_time += prefill_comm
         return self._schedule()
 
     def _admit_fifo(self) -> list[_RunningRequest]:
@@ -1110,7 +1249,11 @@ class EngineRun:
                 admitted.append(self._admit_one(candidate_queue.popleft()))
             elif self._can_preempt(candidate):
                 self._preempt_for(candidate)
-                admitted.append(self._admit_one(candidate_queue.popleft()))
+                wrapper = self._admit_one(candidate_queue.popleft())
+                # Its queueing delay is the preemption latency the chunk
+                # budget bounds (ServingTrace.p99_preemption_latency).
+                wrapper.preempting = True
+                admitted.append(wrapper)
             else:
                 break
         if self._num_preemptions and admitted:
@@ -1198,19 +1341,32 @@ class EngineRun:
         self._shard_reserved -= engine.shard_footprint(request)
         victim.preemptions += 1
         self._num_preemptions += 1
+        # A mid-prefill victim (chunked prefill) leaves the chunk backlog;
+        # only the KV its completed chunks actually computed is resident —
+        # that is what "retain" swaps out and what "recompute" wastes.
+        # With chunking off (or prefill done) chunk_remaining is 0 and
+        # ``resident`` is exactly the full context, the PR 7 arithmetic.
+        if victim.chunk_remaining > 0:
+            try:
+                self._prefill_backlog.remove(victim)
+            except ValueError:
+                pass  # evicted before its admission round backlogged it
+        resident = victim.context_length - victim.chunk_remaining
         if engine.preemption == "retain":
-            # Swap the context generated so far out to host memory now;
-            # the matching swap-in is priced at re-admission.
+            # Swap the context computed so far out to host memory now; the
+            # matching swap-in is priced at re-admission, and any chunks
+            # that never ran are re-prefilled there too.
             num_bytes = engine.simulator.cost_model.kv_bytes(
-                1, victim.context_length, engine.simulator.kv_dtype)
+                1, resident, engine.simulator.kv_dtype)
             self._clock += self._memory.link.device_to_host(num_bytes)
             self._swap_bytes += num_bytes
-            victim.swap_tokens = victim.context_length
-            victim.prefill_tokens = 0
+            victim.swap_tokens = resident
+            victim.prefill_tokens = victim.chunk_remaining
         else:  # "recompute": drop the KV, re-prefill the context on resume
             victim.swap_tokens = 0
             victim.prefill_tokens = victim.context_length
-            self._recompute_tokens += victim.context_length
+            self._recompute_tokens += resident
+        victim.chunk_remaining = 0
         self._preempted[request.request_id] = victim
         self._pending_classes[request.slo_class].appendleft(request)
 
@@ -1223,7 +1379,13 @@ class EngineRun:
                 self._event = (ADMISSION, time)
                 return (time, ADMISSION)
             return None  # awaiting offers, or finished once closed
-        if not self._has_pending and not self._closed:
+        if self._chunking and self._prefill_backlog:
+            # Chunks take priority over decode (prioritized prefill) and
+            # never wait on the next queue head: a chunk is a fixed-
+            # duration event, and the admission round between chunks is
+            # what bounds a preemptor's wait.
+            return self._schedule_chunk()
+        if not self._has_pending and not self._closed and not self._eager:
             return None  # blocked: the epoch cut needs the next queue head
         return self._schedule_epoch()
 
@@ -1258,6 +1420,43 @@ class EngineRun:
                 if best is None or head.arrival_time < best[0]:
                     best = (head.arrival_time, not fits)
         return best if best is not None else (None, False)
+
+    def _schedule_chunk(self) -> tuple[float, str]:
+        """Price the next prefill chunk off the backlog head.
+
+        The chunk takes tokens FCFS from the backlog until the budget is
+        spent — it may finish one request's prefill and start the next's
+        in the same pass (the batched-chunk shape prices both together).
+        """
+        engine = self.engine
+        budget = engine.prefill_chunk_tokens
+        parts: list[tuple[_RunningRequest, int]] = []
+        for wrapper in self._prefill_backlog:
+            if budget <= 0:
+                break
+            take = min(wrapper.chunk_remaining, budget)
+            parts.append((wrapper, take))
+            budget -= take
+        time, comm = engine._chunk_time(parts, self._memory)
+        if time > self._max_chunk_s:
+            self._max_chunk_s = time
+        end = self._clock + time
+        self._event = (PREFILL_CHUNK, end, parts, time, comm)
+        return (end, PREFILL_CHUNK)
+
+    def _apply_chunk(self, end: float,
+                     parts: list[tuple[_RunningRequest, int]],
+                     comm: float) -> None:
+        self._clock = end
+        self._comm_time += comm
+        self._num_chunks += 1
+        for wrapper, tokens in parts:
+            wrapper.chunk_remaining -= tokens
+            wrapper.prefill_chunks += 1
+            self._chunked_tokens += tokens
+        backlog = self._prefill_backlog
+        while backlog and backlog[0].chunk_remaining <= 0:
+            backlog.popleft()
 
     def _schedule_epoch(self) -> tuple[float, str]:
         engine = self.engine
@@ -1349,6 +1548,13 @@ class EngineRun:
                 "count": self._num_preemptions,
                 "swap_bytes": self._swap_bytes,
                 "recompute_tokens": self._recompute_tokens,
+            }
+        if engine.prefill_chunk_tokens is not None:
+            trace.metadata["prefill_chunking"] = {
+                "chunk_tokens": engine.prefill_chunk_tokens,
+                "num_chunks": self._num_chunks,
+                "chunked_tokens": self._chunked_tokens,
+                "max_chunk_s": self._max_chunk_s,
             }
         if not engine.simulator.exact_stepping:
             trace.metadata["epoch_cache"] = {

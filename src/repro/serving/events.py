@@ -46,7 +46,7 @@ policy, router seed)``.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable, Protocol
+from typing import Callable, Protocol
 
 from repro._common import ConfigurationError
 from repro.workloads.arrivals import Request
@@ -61,6 +61,13 @@ COMPLETION = "completion"
 #: ``preemption="retain"`` or ``"recompute"``; never emitted otherwise, so
 #: preemption-free journals are unchanged).
 PREEMPTION = "preemption"
+#: One budget-sized slice of a chunked prefill pass (engines built with
+#: ``prefill_chunk_tokens=N``).  Chunks are fixed-duration events — they are
+#: never cut by arrivals — and admission/preemption runs between them, which
+#: is what bounds the wait of a higher-priority arrival to one chunk's
+#: priced time.  Never emitted with chunking disabled, so chunk-free
+#: journals are unchanged.
+PREFILL_CHUNK = "prefill-chunk"
 
 
 class ReplicaRun(Protocol):
@@ -80,7 +87,31 @@ class ReplicaRun(Protocol):
         """True once the run has drained its queue and running batch."""
 
 
-def drive(source: Iterable[Request], runs: list[ReplicaRun],
+class ContinuationSource(Protocol):
+    """An arrival source fed by the simulation it drives (closed loop).
+
+    Unlike a plain iterable, a continuation source's future arrivals may
+    depend on completions the engine has not produced yet: popping returns
+    ``None`` while the source is *waiting* (turns outstanding but none
+    ready), and only :attr:`exhausted` says no arrival will ever come
+    again.  The serve layer feeds completions back through whatever
+    callback the source exposes (see
+    ``repro.workloads.sessions.ClosedLoopSessions.on_completion``) —
+    :func:`drive` itself only pops.
+    """
+
+    def peek_time(self) -> float | None:
+        """Arrival time of the earliest ready request (None when none)."""
+
+    def pop_next(self) -> Request | None:
+        """Pop the earliest ready request (None when none is ready)."""
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every request has been popped — none will ever follow."""
+
+
+def drive(source, runs: list[ReplicaRun],
           route: Callable[[Request], int],
           journal: list | None = None) -> None:
     """Run the merged event loop to completion.
@@ -93,9 +124,18 @@ def drive(source: Iterable[Request], runs: list[ReplicaRun],
     ``journal``, when given, receives ``(time, kind, run_index)`` tuples
     for every processed event (a test/debug surface; see
     ``tests/test_serving_events.py``).
+
+    A :class:`ContinuationSource` (anything with ``pop_next``) switches to
+    the closed-loop body: arrivals are popped only when they precede every
+    scheduled run event, so turns injected by completions mid-loop are
+    served in true time order, and runs are closed only once the source is
+    exhausted — not merely momentarily empty.
     """
     if not runs:
         raise ConfigurationError("drive needs at least one replica run")
+    if hasattr(source, "pop_next"):
+        _drive_continuation(source, runs, route, journal)
+        return
     arrivals = iter(source)
     heap: list[tuple] = []
     sequence = 0
@@ -154,6 +194,78 @@ def drive(source: Iterable[Request], runs: list[ReplicaRun],
                 journal.append((time, kind, index))
             push_run_event(index, runs[index].advance())
 
+    for index, run in enumerate(runs):
+        if not run.finished:
+            raise ConfigurationError(
+                f"event loop drained with run {index} unfinished — a run "
+                f"scheduled no event while holding work (driver invariant "
+                f"violation)"
+            )
+
+
+def _drive_continuation(source, runs: list[ReplicaRun],
+                        route: Callable[[Request], int],
+                        journal: list | None = None) -> None:
+    """Closed-loop body of :func:`drive` (see :class:`ContinuationSource`).
+
+    The one-ahead pull of the open-loop body is unsound here: a completion
+    at time ``t`` may inject a turn earlier than an arrival already pulled
+    into the heap.  Instead the source is *peeked* every iteration and an
+    arrival is popped only when it precedes every scheduled run event
+    (arrivals win ties, invariant 1), which keeps the offered order sorted:
+    any turn injected later departs from a completion at or after the
+    current heap minimum, so it can never predate an arrival already
+    popped.  Runs are closed only when the source is exhausted — a
+    momentarily-empty source still owes the arrivals its outstanding
+    completions will trigger.  Runs driven closed-loop must therefore never
+    block awaiting their next queue head (``EngineRun`` is built with
+    ``eager_epochs=True``), or the loop would deadlock on the circular wait
+    between an epoch's cut and the arrival it produces.
+    """
+    heap: list[tuple] = []
+    sequence = 0
+    closed = False
+
+    def push_run_event(index: int, event: tuple[float, str] | None) -> None:
+        nonlocal sequence
+        if event is None:
+            return
+        time, kind = event
+        sequence += 1
+        heapq.heappush(heap, (time, index, sequence, kind, index, None))
+
+    while True:
+        ready = source.peek_time()
+        if ready is not None and (not heap
+                                  or (ready, -1) <= (heap[0][0], heap[0][1])):
+            request = source.pop_next()
+            target = route(request)
+            if not 0 <= target < len(runs):
+                raise ConfigurationError(
+                    f"route() must return a run index in [0, {len(runs)}), "
+                    f"got {target!r}"
+                )
+            if journal is not None:
+                journal.append((request.arrival_time, ARRIVAL, target))
+            push_run_event(target, runs[target].offer(request))
+            continue
+        if ready is None and source.exhausted and not closed:
+            closed = True
+            for index, run in enumerate(runs):
+                push_run_event(index, run.close())
+            continue
+        if not heap:
+            break
+        time, _, _, kind, index, _ = heapq.heappop(heap)
+        if journal is not None:
+            journal.append((time, kind, index))
+        push_run_event(index, runs[index].advance())
+
+    if not source.exhausted:
+        raise ConfigurationError(
+            "closed-loop event loop drained with the source still waiting "
+            "for completions — a run dropped work without recording it"
+        )
     for index, run in enumerate(runs):
         if not run.finished:
             raise ConfigurationError(

@@ -287,6 +287,12 @@ class StreamingTrace:
         self._prefix_bearing = 0
         self._prefix_hits = 0
         self._preemptions = 0
+        # Chunked-prefill / preemption-latency columns: the chunk total is
+        # exact; the preemption-wait P99 is a P² estimate and follows the
+        # ``quantiles`` gate like every other sketch.
+        self._prefill_chunks = 0
+        self._preempt_wait = (P2Quantile(0.99) if quantiles is not None
+                              else None)
 
     # ------------------------------------------------------------------ #
     # record sink
@@ -321,6 +327,9 @@ class StreamingTrace:
             self._prefix_bearing += 1
             self._prefix_hits += record.prefix_hit
         self._preemptions += record.preemptions
+        self._prefill_chunks += record.prefill_chunks
+        if record.preempting and self._preempt_wait is not None:
+            self._preempt_wait.observe(record.queueing_delay)
 
     # ------------------------------------------------------------------ #
     # aggregate metrics (ServingTrace surface)
@@ -407,6 +416,21 @@ class StreamingTrace:
         """Total preemptions suffered across all observed requests."""
         return self._preemptions
 
+    @property
+    def p99_preemption_latency(self) -> float:
+        """P² estimate of the P99 preemptor queueing delay (0.0 when
+        nothing preempted, or when sketches are disabled)."""
+        if self._preempt_wait is None or self._preempt_wait.count == 0:
+            return 0.0
+        return self._preempt_wait.value
+
+    @property
+    def prefill_chunks_per_request(self) -> float:
+        """Mean prefill chunks per request — exact, like the token totals."""
+        if self._count == 0:
+            return 0.0
+        return self._prefill_chunks / self._count
+
     def per_class_summary(self, class_slos: dict | None = None) -> dict:
         """Per-SLO-class breakdown with ``ServingTrace``'s keys.
 
@@ -465,4 +489,6 @@ class StreamingTrace:
             "p99_latency_s": latency.get(99.0, 0.0),
             "prefix_hit_rate": self.prefix_hit_rate,
             "num_preemptions": self.num_preemptions,
+            "p99_preemption_latency_s": self.p99_preemption_latency,
+            "prefill_chunks_per_request": self.prefill_chunks_per_request,
         }

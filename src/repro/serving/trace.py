@@ -65,7 +65,11 @@ class RequestRecord:
     priority tier, how many of its prompt tokens were a shared session
     prefix, whether that prefix was resident at admission (so only the
     suffix KV was charged), and how many times the request was preempted
-    by higher-priority arrivals before completing.
+    by higher-priority arrivals before completing.  ``preempting`` marks a
+    request whose own admission evicted running lower-priority work — its
+    queueing delay is the *preemption latency* the chunked-prefill budget
+    bounds — and ``prefill_chunks`` counts the prefill chunks it
+    participated in (0 when chunking was disabled).
     """
 
     request_id: int
@@ -79,6 +83,8 @@ class RequestRecord:
     prefix_len: int = 0
     prefix_hit: bool = False
     preemptions: int = 0
+    preempting: bool = False
+    prefill_chunks: int = 0
 
     def __post_init__(self) -> None:
         if not (self.arrival_time <= self.admission_time
@@ -96,6 +102,11 @@ class RequestRecord:
             raise ConfigurationError(
                 f"request {self.request_id}: prefix_len and preemptions "
                 f"must be non-negative"
+            )
+        if self.prefill_chunks < 0:
+            raise ConfigurationError(
+                f"request {self.request_id}: prefill_chunks must be "
+                f"non-negative"
             )
 
     @property
@@ -219,6 +230,36 @@ class ServingTrace:
         """Total preemptions suffered across all completed requests."""
         return sum(record.preemptions for record in self.records)
 
+    @property
+    def preemption_waits(self) -> list[float]:
+        """Queueing delays of requests whose admission preempted running
+        work — the latency a higher-priority arrival paid before it could
+        evict its way into the batch."""
+        return [record.queueing_delay for record in self.records
+                if record.preempting]
+
+    @property
+    def p99_preemption_latency(self) -> float:
+        """P99 of :attr:`preemption_waits` (0.0 when nothing preempted).
+
+        With chunked prefill enabled this is the column the chunk budget
+        bounds: preemption points recur at least once per chunk, so no
+        preemptor waits longer than one chunk's priced duration plus a
+        decode step.
+        """
+        waits = self.preemption_waits
+        if not waits:
+            return 0.0
+        return percentiles(waits, (99,))[99.0]
+
+    @property
+    def prefill_chunks_per_request(self) -> float:
+        """Mean prefill chunks per request (0.0 when chunking is off)."""
+        if not self.records:
+            return 0.0
+        return (sum(record.prefill_chunks for record in self.records)
+                / len(self.records))
+
     def per_class_summary(self, class_slos: dict | None = None) -> dict:
         """Per-SLO-class breakdown: ``{slo_class: {metric: value}}``.
 
@@ -273,4 +314,6 @@ class ServingTrace:
             "p99_latency_s": latency.get(99.0, 0.0),
             "prefix_hit_rate": self.prefix_hit_rate,
             "num_preemptions": self.num_preemptions,
+            "p99_preemption_latency_s": self.p99_preemption_latency,
+            "prefill_chunks_per_request": self.prefill_chunks_per_request,
         }

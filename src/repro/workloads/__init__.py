@@ -19,6 +19,7 @@ from repro.workloads.descriptors import (
     alpaca_batch_sweep,
 )
 from repro.workloads.sessions import (
+    ClosedLoopSessions,
     SessionRequest,
     SessionTrace,
     replay_requests,
@@ -40,6 +41,7 @@ __all__ = [
     "ALL_DATASETS",
     "ALPACA_WORKLOAD",
     "ARRIVAL_PATTERNS",
+    "ClosedLoopSessions",
     "FIGURE1_WORKLOADS",
     "FIGURE9_BATCH_SIZES",
     "LM_DATASETS",

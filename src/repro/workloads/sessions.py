@@ -33,18 +33,25 @@ Lowering contract
 * Turn ``t+1``'s ``prefix_len`` equals turn ``t``'s
   ``input_len + output_len`` — the whole previous context including the
   generated answer.
-* The trace is **open loop**: turn ``t+1`` arrives a think-time gap plus a
-  service allowance (``tokens / service_tokens_per_s``) after turn ``t``,
-  independent of the simulated completion instant.  This keeps the trace a
-  pure function of its seed (closed-loop arrivals would couple the
+* The trace is **open loop** by default: turn ``t+1`` arrives a think-time
+  gap plus a service allowance (``tokens / service_tokens_per_s``) after
+  turn ``t``, independent of the simulated completion instant.  This keeps
+  the trace a pure function of its seed (closed-loop arrivals couple the
   workload to the engine under test); pick ``mean_think_s`` and
   ``service_tokens_per_s`` so follow-ups usually arrive after their
   parent completes if high prefix-hit rates are the goal.
+* :meth:`SessionTrace.closed_loop` instead builds a
+  :class:`ClosedLoopSessions` source whose turn ``t+1`` arrives at turn
+  ``t``'s *simulated* completion plus the same think-time draw — the
+  engine feeds completions back into the source, so the workload reacts
+  to the system under test.  Both modes replay identical per-turn scripts
+  (lengths, classes, think times); only the arrival coupling differs.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import heapq
 from dataclasses import dataclass
 
 import numpy as np
@@ -209,14 +216,30 @@ class SessionTrace:
         """Total serving requests the trace lowers to."""
         return len(self._turns())
 
-    # ------------------------------------------------------------------ #
-    def _turns(self) -> list[tuple]:
-        """All turns of all sessions, sorted by arrival.
+    def closed_loop(self) -> "ClosedLoopSessions":
+        """A fresh single-use closed-loop arrival source over this spec.
 
-        Each entry is ``(arrival, session_id, turn_index, prefix_len,
-        input_len, output_len, slo_class, final_turn)``.  Pure function of
-        the spec (one generator seeded from ``seed`` drives every draw
-        after the session-start arrival times).
+        Serve it directly (``engine.serve(trace.closed_loop())``, or
+        ``ReplicaGroup.serve``): turn ``t+1`` of each session arrives at
+        turn ``t``'s simulated completion plus the script's think-time
+        draw.  Per-turn lengths, classes, and think times are identical to
+        the open-loop lowering — only arrival instants differ.  The source
+        is consumed by one serve; build a new one per serve.
+        """
+        return ClosedLoopSessions(self)
+
+    # ------------------------------------------------------------------ #
+    def _scripts(self) -> list[tuple]:
+        """Per-session turn scripts: the seed-determined facts of a serve.
+
+        Each entry is ``(start_time, slo_class, turns)`` with ``turns`` a
+        list of ``(prefix_len, new_input, output_len, think_s)``.  Pure
+        function of the spec (one generator seeded from ``seed`` drives
+        every draw after the session-start arrival times).  The open-loop
+        lowering (:meth:`requests`) and the closed-loop source
+        (:meth:`closed_loop`) both replay these scripts, so the two modes
+        serve identical per-turn lengths and differ only in how arrivals
+        couple to completions.
         """
         if self.rate is None:
             raise ConfigurationError(
@@ -244,28 +267,150 @@ class SessionTrace:
             length = generator.lognormal(mu, self.sigma)
             return int(np.clip(np.round(length), 1, cap))
 
-        turns: list[tuple] = []
+        scripts: list[tuple] = []
         for session_id in range(self.num_sessions):
-            arrival = float(starts[session_id])
             slo_class = str(classes[session_id])
             prefix = 0
-            emitted: list[tuple] = []
-            for turn_index in range(int(turn_counts[session_id])):
+            script: list[tuple] = []
+            for _ in range(int(turn_counts[session_id])):
                 new_input = sample(self.mean_new_input, input_cap)
                 output = sample(self.mean_output, output_cap)
                 think = float(generator.exponential(self.mean_think_s))
                 if prefix + new_input + output > self.max_context:
                     break  # context budget exhausted: session ends early
-                input_len = prefix + new_input
-                emitted.append((arrival, session_id, turn_index, prefix,
-                                input_len, output, slo_class))
-                prefix = input_len + output
+                script.append((prefix, new_input, output, think))
+                prefix += new_input + output
+            scripts.append((float(starts[session_id]), slo_class, script))
+        return scripts
+
+    def _turns(self) -> list[tuple]:
+        """All turns of all sessions, sorted by arrival (open loop).
+
+        Each entry is ``(arrival, session_id, turn_index, prefix_len,
+        input_len, output_len, slo_class, final_turn)``.
+        """
+        turns: list[tuple] = []
+        for session_id, (start, slo_class, script) \
+                in enumerate(self._scripts()):
+            arrival = start
+            for turn_index, (prefix, new_input, output, think) \
+                    in enumerate(script):
+                turns.append((arrival, session_id, turn_index, prefix,
+                              prefix + new_input, output, slo_class,
+                              turn_index == len(script) - 1))
                 arrival += think + (new_input + output) \
                     / self.service_tokens_per_s
-            for position, turn in enumerate(emitted):
-                turns.append(turn + (position == len(emitted) - 1,))
         turns.sort(key=lambda turn: (turn[0], turn[1], turn[2]))
         return turns
+
+
+class ClosedLoopSessions:
+    """Single-use closed-loop arrival source over a :class:`SessionTrace`.
+
+    Implements :class:`~repro.serving.events.ContinuationSource`: the
+    serving layer pops ready turns in time order and feeds every completed
+    request back through :meth:`on_completion`, which schedules the
+    session's next turn at ``completion_time + think_s`` — so follow-ups
+    react to the *simulated* system instead of an a-priori service
+    allowance.  Request ids are assigned in pop order, which is
+    nondecreasing in arrival time (the driver pops the earliest ready
+    turn), so downstream FCFS order checks hold unchanged.
+
+    The turn *scripts* (lengths, classes, think-time draws) are the
+    spec's own — see :meth:`SessionTrace._scripts` — making a closed-loop
+    serve a pure function of ``(spec seed, engine configuration)``.
+    """
+
+    def __init__(self, spec: SessionTrace) -> None:
+        self._spec = spec
+        self._scripts = spec._scripts()
+        #: Ready turns as a ``(arrival_time, session_id)`` heap; each
+        #: session has at most one ready or in-flight turn at a time.
+        self._ready: list[tuple[float, int]] = []
+        self._inflight: dict[int, tuple[int, int]] = {}
+        #: ``request_id -> (session_id, turn_index)`` for every request
+        #: popped so far — the audit trail tests use to check causality.
+        self.assignments: dict[int, tuple[int, int]] = {}
+        self._positions = [0] * len(self._scripts)
+        self._next_id = 0
+        self._popped = 0
+        self._total = sum(len(script) for _, _, script in self._scripts)
+        for session_id, (start, _, script) in enumerate(self._scripts):
+            if script:
+                heapq.heappush(self._ready, (start, session_id))
+
+    @property
+    def spec(self) -> SessionTrace:
+        return self._spec
+
+    @property
+    def num_turns(self) -> int:
+        """Total requests this source will emit over its lifetime."""
+        return self._total
+
+    @property
+    def length_bounds(self) -> tuple[int, int]:
+        """``(max_input_len, max_output_len)`` over every scripted turn."""
+        max_input = max_output = 1
+        for _, _, script in self._scripts:
+            for prefix, new_input, output, _ in script:
+                if prefix + new_input > max_input:
+                    max_input = prefix + new_input
+                if output > max_output:
+                    max_output = output
+        return max_input, max_output
+
+    # ------------------------------------------------------------------ #
+    # ContinuationSource interface
+    # ------------------------------------------------------------------ #
+    def peek_time(self) -> float | None:
+        return self._ready[0][0] if self._ready else None
+
+    def pop_next(self) -> SessionRequest | None:
+        if not self._ready:
+            return None
+        arrival, session_id = heapq.heappop(self._ready)
+        _, slo_class, script = self._scripts[session_id]
+        turn_index = self._positions[session_id]
+        self._positions[session_id] = turn_index + 1
+        prefix, new_input, output, _ = script[turn_index]
+        request = SessionRequest(
+            request_id=self._next_id, arrival_time=arrival,
+            input_len=prefix + new_input, output_len=output,
+            slo_class=slo_class, session_id=session_id,
+            turn_index=turn_index, prefix_len=prefix,
+            final_turn=turn_index == len(script) - 1)
+        self._inflight[request.request_id] = (session_id, turn_index)
+        self.assignments[request.request_id] = (session_id, turn_index)
+        self._next_id += 1
+        self._popped += 1
+        return request
+
+    @property
+    def exhausted(self) -> bool:
+        return self._popped == self._total
+
+    # ------------------------------------------------------------------ #
+    def on_completion(self, record) -> None:
+        """Feed one completed request back; schedules the next turn.
+
+        ``record`` is anything with ``request_id`` and ``completion_time``
+        (the engine passes each :class:`~repro.serving.trace.RequestRecord`
+        through here as its per-record observer).
+        """
+        entry = self._inflight.pop(record.request_id, None)
+        if entry is None:
+            raise ConfigurationError(
+                f"closed-loop completion for unknown or already-completed "
+                f"request id {record.request_id!r}"
+            )
+        session_id, turn_index = entry
+        _, _, script = self._scripts[session_id]
+        if turn_index + 1 >= len(script):
+            return  # final turn: the session is over
+        think = script[turn_index][3]
+        heapq.heappush(self._ready,
+                       (record.completion_time + think, session_id))
 
 
 def sessions(num_sessions: int = 32, rate: float | None = None,

@@ -32,11 +32,12 @@ MODEL = "opt-6.7b"
 
 
 def engine(system=FlexGenSystem, *, max_batch_size=None, preemption=None,
-           prefix_reuse=True, **kwargs) -> ContinuousBatchingEngine:
+           prefix_reuse=True, prefill_chunk_tokens=None,
+           **kwargs) -> ContinuousBatchingEngine:
     return ContinuousBatchingEngine(
         system(MODEL, V100_16GB_NODE, **kwargs),
         max_batch_size=max_batch_size, preemption=preemption,
-        prefix_reuse=prefix_reuse)
+        prefix_reuse=prefix_reuse, prefill_chunk_tokens=prefill_chunk_tokens)
 
 
 def chat(num_sessions=12, rate=2.0, seed=3, **kwargs) -> SessionTrace:
@@ -275,6 +276,13 @@ class TestGoldenPin:
 # Per-class accounting and cluster routing
 # --------------------------------------------------------------------- #
 class TestClassesAndCluster:
+    #: Aggregates every record mode computes with the same float op order —
+    #: exact equality required (quantile columns are P² estimates instead).
+    PARITY_KEYS = ("num_requests", "generated_tokens", "duration_s",
+                   "throughput_tokens_per_s", "mean_queueing_delay_s",
+                   "prefix_hit_rate", "num_preemptions",
+                   "prefill_chunks_per_request")
+
     def test_streaming_per_class_matches_full(self):
         slos = {"interactive": (2.0, 0.1), "batch": (10.0, 0.5)}
         requests = chat().requests()
@@ -284,12 +292,72 @@ class TestClassesAndCluster:
         # Quantiles are P-squared estimates in streaming mode; every exact
         # aggregate — including the new session columns — must agree.
         full_summary, stream_summary = full.summary(), streaming.summary()
-        for key in ("num_requests", "generated_tokens", "duration_s",
-                    "throughput_tokens_per_s", "mean_queueing_delay_s",
-                    "prefix_hit_rate", "num_preemptions"):
+        for key in self.PARITY_KEYS:
             assert stream_summary[key] == full_summary[key], key
+        # Nothing preempted: the latency column is exactly zero both ways.
+        assert full_summary["p99_preemption_latency_s"] == 0.0
+        assert stream_summary["p99_preemption_latency_s"] == 0.0
         assert streaming.per_class_summary(slos) == \
             full.per_class_summary(slos)
+
+    @staticmethod
+    def _assert_mode_parity(full, streaming, slos):
+        full_summary, stream_summary = full.summary(), streaming.summary()
+        for key in TestClassesAndCluster.PARITY_KEYS:
+            assert stream_summary[key] == full_summary[key], key
+        # The preemption-latency column is a P² estimate in streaming mode:
+        # exact below five observations, interpolated (within the observed
+        # range) beyond.
+        waits = full.preemption_waits
+        if len(waits) < 5:
+            assert stream_summary["p99_preemption_latency_s"] == \
+                full_summary["p99_preemption_latency_s"]
+        else:
+            assert min(waits) <= stream_summary["p99_preemption_latency_s"] \
+                <= max(waits)
+            assert stream_summary["p99_preemption_latency_s"] == \
+                pytest.approx(full_summary["p99_preemption_latency_s"],
+                              rel=0.5)
+        assert streaming.per_class_summary(slos) == \
+            full.per_class_summary(slos)
+
+    def test_cross_mode_parity_matrix_engine(self):
+        # The full-mode assertions of this file, replayed in streaming mode
+        # under the PR 8 machinery (chunked prefill + preemption): every
+        # exact column agrees, sketch columns agree within tolerance.
+        slos = {"interactive": (2.0, 0.1), "batch": (20.0, 1.0)}
+        requests = chat(**TestPreemption.CONTENDED).requests()
+
+        def serve(record_mode):
+            return engine(max_batch_size=4, preemption="recompute",
+                          prefill_chunk_tokens=128).serve(
+                requests, record_mode=record_mode, class_slos=slos)
+
+        full = serve("full")
+        assert full.num_preemptions > 0
+        assert full.prefill_chunks_per_request > 0.0
+        self._assert_mode_parity(full, serve("streaming"), slos)
+
+    def test_cross_mode_parity_matrix_cluster(self):
+        slos = {"interactive": (2.0, 0.1), "batch": (20.0, 1.0)}
+        workload = chat(**TestPreemption.CONTENDED)
+
+        def factory(node, parallelism):
+            return FlexGenSystem(MODEL, node, parallelism=parallelism)
+
+        def serve(record_mode):
+            group = ReplicaGroup.from_layout(
+                factory, "2x(none)", V100_16GB_NODE,
+                policy="session-affinity", max_batch_size=2,
+                preemption="recompute", prefill_chunk_tokens=128)
+            return group.serve(workload.requests(),
+                               record_mode=record_mode, class_slos=slos)
+
+        full = serve("full")
+        assert full.num_preemptions > 0
+        assert full.prefill_chunks_per_request > 0.0
+        assert full.prefix_hit_rate > 0.0
+        self._assert_mode_parity(full, serve("streaming"), slos)
 
     def test_session_affinity_keeps_hit_rate(self):
         workload = chat(num_sessions=16)
@@ -321,3 +389,57 @@ class TestClassesAndCluster:
         picks = [(sticky.assign(r, [0.1, 0.1]), jsq.assign(r, [0.1, 0.1]))
                  for r in plain]
         assert all(a == b for a, b in picks)
+
+
+# --------------------------------------------------------------------- #
+# Prefix-cache ledger conservation (regression: superseded retentions)
+# --------------------------------------------------------------------- #
+class TestPrefixCacheLedger:
+    @staticmethod
+    def _assert_ledger_balances(trace):
+        stats = trace.metadata["prefix_cache"]
+        # Every retained entry is eventually consumed by a follow-up,
+        # evicted (superseded or pushed out for KV room), or still
+        # resident when the serve drains — no entry is lost or counted
+        # twice.  Before the fix, a same-session retain over an unconsumed
+        # entry leaked the old entry's tokens from the ledger.
+        assert stats["retained"] == \
+            stats["consumed"] + stats["evicted"] + stats["resident"]
+        bearing = sum(1 for r in trace.records if r.prefix_len > 0)
+        assert stats["hits"] + stats["misses"] == bearing
+        assert len([r for r in trace.records if r.prefix_hit]) == \
+            stats["hits"]
+
+    def test_overlapping_turns_supersede_retained_entries(self):
+        # Near-zero think times make turn t+1 arrive while turn t is still
+        # decoding: the follow-up misses, and turn t's later retention is
+        # itself superseded by turn t+1's — the exact leak the ledger fix
+        # closes.  The superseded entry must be counted as evicted.
+        trace = engine().serve(
+            chat(num_sessions=12, rate=4.0, mean_think_s=0.01,
+                 service_tokens_per_s=10_000.0).requests())
+        stats = trace.metadata["prefix_cache"]
+        assert stats["misses"] > 0
+        assert stats["evicted"] > 0
+        self._assert_ledger_balances(trace)
+
+    @given(seed=st.integers(0, 2**16),
+           num_sessions=st.integers(1, 12),
+           mean_think_s=st.sampled_from([0.01, 0.5, 2.0]),
+           rate=st.sampled_from([1.0, 4.0, 16.0]))
+    @settings(max_examples=25, deadline=None)
+    def test_property_ledger_conserves_lookups(self, seed, num_sessions,
+                                               mean_think_s, rate):
+        trace = engine().serve(
+            chat(num_sessions=num_sessions, rate=rate, seed=seed,
+                 mean_think_s=mean_think_s).requests())
+        if "prefix_cache" not in trace.metadata:
+            return  # single-turn draw: no prefixes were ever judged
+        self._assert_ledger_balances(trace)
+
+    def test_ledger_balances_under_preemption_and_chunking(self):
+        trace = engine(max_batch_size=4, preemption="recompute",
+                       prefill_chunk_tokens=128).serve(
+            chat(**TestPreemption.CONTENDED).requests())
+        assert trace.num_preemptions > 0
+        self._assert_ledger_balances(trace)
