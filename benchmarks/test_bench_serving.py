@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import time
 import tracemalloc
 
@@ -12,6 +13,7 @@ from repro.cluster import ReplicaGroup
 from repro.core.engine import AlisaSystem
 from repro.experiments import run_experiment
 from repro.hardware.presets import V100_16GB_NODE
+from repro.obs import Observer, SpanTracer
 from repro.serving import ContinuousBatchingEngine
 from repro.workloads.arrivals import RequestStream, generate_requests
 
@@ -74,12 +76,31 @@ def test_bench_serving_fast_path(benchmark):
 
 @pytest.mark.benchmark(group="serving")
 def test_bench_serving_cluster(benchmark, record_rows):
-    """Cluster serving: 2 GPUs as one TP-2 node vs two routed replicas."""
+    """Cluster serving: 2 GPUs as one TP-2 node vs two routed replicas.
+
+    Every sweep row runs with a :class:`~repro.obs.SpanTracer` attached;
+    the last row's Chrome trace is exported to ``BENCH_cluster_trace.json``
+    (a CI artifact — load it in https://ui.perfetto.dev).
+    """
+    tracers = []
+
+    def observers():
+        tracer = SpanTracer()
+        tracers.append(tracer)
+        return [tracer]
+
     result = benchmark(run_experiment, "serving_rate_sweep",
                        rates=(8.0, 32.0), num_requests=16,
                        input_len=256, output_len=128,
-                       cluster=("tp-2", "2x(tp-1)"), routing="jsq")
+                       cluster=("tp-2", "2x(tp-1)"), routing="jsq",
+                       slo_classes={"interactive": (2.0, 0.1)},
+                       observers=observers)
     record_rows(benchmark, result)
+    exported = tracers[-1].export("BENCH_cluster_trace.json")
+    payload = json.loads(exported.read_text())
+    assert payload["traceEvents"]
+    assert payload["otherData"]["requests"]
+    benchmark.extra_info["chrome_trace"] = str(exported)
     assert {row["cluster"] for row in result.rows} == {"tp-2", "2x(none)"}
     assert {row["gpu_count"] for row in result.rows} == {2}
     for row in result.filter(system="alisa", cluster="2x(none)"):
@@ -156,6 +177,45 @@ def test_bench_serving_million(benchmark):
     assert per_request_big < 1.25 * per_request_small, (
         f"per-request wall-clock grew with the trace: "
         f"{per_request_small * 1e6:.0f}us -> {per_request_big * 1e6:.0f}us")
+
+
+@pytest.mark.benchmark(group="serving")
+def test_bench_observer_overhead(benchmark):
+    """A no-op observer costs at most 5% over the unobserved serve.
+
+    Every engine hook site is guarded by one ``if`` on the observer list,
+    so the unobserved path is instruction-identical to the
+    pre-observability core; with a no-op :class:`~repro.obs.Observer`
+    attached the only cost is the callback dispatch.  Min-of-N timing on
+    both sides keeps the comparison robust to CI noise.
+    """
+    requests = generate_requests(24, rate=16.0, input_len=256,
+                                 output_len=128, seed=0)
+    engine = ContinuousBatchingEngine(
+        VLLMSystem("opt-6.7b", V100_16GB_NODE))
+    observer = Observer()
+
+    def min_of(serve_kwargs, rounds=7):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            engine.serve(requests, **serve_kwargs)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    engine.serve(requests)  # warm the pricing caches once
+    base_min = min_of({})
+    observed_min = min_of({"observers": [observer]})
+    benchmark.extra_info["base_min_s"] = base_min
+    benchmark.extra_info["observed_min_s"] = observed_min
+    overhead = observed_min / base_min - 1.0
+    benchmark.extra_info["overhead_fraction"] = overhead
+    # 200us epsilon absorbs timer granularity on sub-ms serves.
+    assert observed_min <= base_min * 1.05 + 2e-4, (
+        f"no-op observer overhead {overhead:+.1%} exceeds the 5% budget")
+    benchmark.pedantic(engine.serve, args=(requests,),
+                       kwargs={"observers": [observer]},
+                       rounds=5, iterations=1)
 
 
 @pytest.mark.benchmark(group="serving")

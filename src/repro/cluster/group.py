@@ -16,6 +16,7 @@ the serving sweep's ``cluster`` axis compares both at equal GPU count
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable
 
 from repro._common import ConfigurationError
@@ -29,7 +30,7 @@ from repro.hardware.presets import (
     InterconnectSpec,
 )
 from repro.serving.engine import ContinuousBatchingEngine
-from repro.serving.events import drive
+from repro.serving.events import check_observers, drive, notify_finish
 from repro.systems.cost import ParallelismSpec
 from repro.systems.simulator import InferenceSimulator
 from repro.workloads.arrivals import Request, RequestStream
@@ -225,7 +226,8 @@ class ReplicaGroup:
               ttft_slo_s: float | None = None,
               tpot_slo_s: float | None = None,
               class_slos: dict | None = None,
-              event_journal: list | None = None):
+              event_journal: list | None = None,
+              observers=None):
         """Serve ``requests`` through one merged event stream.
 
         Every replica becomes an event-driven
@@ -252,9 +254,24 @@ class ReplicaGroup:
         dispatch counts, ``metadata["replicas"]`` the per-replica
         breakdowns.  ``event_journal``, when given, receives every
         processed ``(time, kind, replica)`` event (a test/debug surface).
+
+        ``observers`` is an optional list of :class:`repro.obs.Observer`
+        instances hooked into every replica run and the merged event loop
+        (span tracing, metric timelines — see ``docs/observability.md``);
+        with none registered the serve is bit-identical to an unobserved
+        one.  Observers ride the event-driven path and cannot be combined
+        with ``exact_stepping=True`` replicas.
         """
+        started = perf_counter()
         policy = self.policy if policy is None else policy
         seed = self.seed if seed is None else seed
+        observers = check_observers(observers)
+        if observers and any(engine.simulator.exact_stepping
+                             for engine in self.engines):
+            raise ConfigurationError(
+                "observers hook the event-driven path and cannot be "
+                "combined with exact_stepping=True replicas"
+            )
         if record_mode not in ("full", "streaming"):
             raise ConfigurationError(
                 f"unknown record_mode {record_mode!r}; known: ['full', "
@@ -312,6 +329,18 @@ class ReplicaGroup:
                             if requests else None)
             upfront = list(zip(ordered, indices))
 
+        if observers:
+            # Wrap the routing closure so observers see every assignment —
+            # covers both the live-router and the replay path, without the
+            # router itself learning about observation.
+            inner_route = route
+
+            def route(request, _inner=inner_route):
+                target = _inner(request)
+                for ob in observers:
+                    ob.on_assign(request.arrival_time, request, target)
+                return target
+
         streaming = record_mode == "streaming"
         cluster_trace = None
         observer = None
@@ -335,21 +364,27 @@ class ReplicaGroup:
                     _sink(record)
                     _feedback(record)
         runs = []
-        for engine, share in zip(self.engines, share_bounds):
+        for index, (engine, share) in enumerate(zip(self.engines,
+                                                    share_bounds)):
             trace = engine.make_trace(record_mode, ttft_slo_s, tpot_slo_s,
                                       quantiles=() if streaming else None)
             if share is None:
-                runs.append(engine.start_run(trace, observer=observer))
+                runs.append(engine.start_run(trace, observer=observer,
+                                             observers=observers,
+                                             replica=index))
             else:
                 runs.append(engine.start_run(trace, max_input_len=share[0],
                                              max_output_len=share[1],
                                              observer=observer,
-                                             eager_epochs=closed_loop))
+                                             eager_epochs=closed_loop,
+                                             observers=observers,
+                                             replica=index))
         for request, index in upfront:
             # Legacy contract: an impossible request raises before any
             # simulation happens (streams check at their arrival instead).
             runs[index].check_admissible(request)
-        drive(source, runs, route, journal=event_journal)
+        drive(source, runs, route, journal=event_journal,
+              observers=observers)
         traces = [run.finalize() for run in runs]
 
         # Live routing tallies dispatches as the event loop runs, so the
@@ -377,10 +412,19 @@ class ReplicaGroup:
         scheduler = self._aggregate_scheduler_stats(traces)
         if scheduler:
             metadata["scheduler"] = scheduler
+        epoch_cache = self._aggregate_epoch_cache(traces)
+        if epoch_cache is not None:
+            # Exact even when replicas share one pricing cache: each
+            # engine's hit/miss counters are per engine, so per-replica
+            # deltas sum without double counting.
+            metadata["epoch_cache"] = epoch_cache
+        metadata["wall_clock_s"] = perf_counter() - started
         if not streaming:
-            return ClusterTrace.merge(traces, system=simulator.name,
-                                      model=simulator.config.name,
-                                      metadata=metadata)
+            merged = ClusterTrace.merge(traces, system=simulator.name,
+                                        model=simulator.config.name,
+                                        metadata=metadata)
+            notify_finish(observers, merged, class_slos)
+            return merged
         cluster_trace.replica_traces = traces
         cluster_trace.metadata.update(metadata)
         cluster_trace.metadata["replicas"] = [
@@ -398,7 +442,22 @@ class ReplicaGroup:
             "kv_budget_tokens",
             sum(trace.metadata.get("kv_budget_tokens", 0)
                 for trace in traces))
+        notify_finish(observers, cluster_trace, class_slos)
         return cluster_trace
+
+    @staticmethod
+    def _aggregate_epoch_cache(traces) -> dict[str, int] | None:
+        """Cluster-wide priced-epoch cache hits/misses (None when absent,
+        e.g. every replica ran with ``exact_stepping=True``)."""
+        totals = {"hits": 0, "misses": 0}
+        found = False
+        for trace in traces:
+            cache = trace.metadata.get("epoch_cache")
+            if cache is not None:
+                found = True
+                totals["hits"] += cache["hits"]
+                totals["misses"] += cache["misses"]
+        return totals if found else None
 
     @staticmethod
     def _aggregate_scheduler_stats(traces) -> dict[str, int]:

@@ -112,7 +112,8 @@ def serving_rate_sweep(model: str = "opt-6.7b",
                        slo_classes: dict | None = None,
                        preemption: str | None = None,
                        prefill_chunk_tokens: int | None = None,
-                       closed_loop: bool = False) -> ExperimentResult:
+                       closed_loop: bool = False,
+                       observers=None) -> ExperimentResult:
     """Sweep the request arrival rate and report serving metrics.
 
     ``input_len``/``output_len`` of ``None`` sample ShareGPT-style
@@ -177,7 +178,21 @@ def serving_rate_sweep(model: str = "opt-6.7b",
     throughput, delays, and goodput; P² estimates for the latency
     percentiles.  Use it when ``num_requests`` is large enough that
     retaining per-request records would dominate memory.
+
+    ``observers`` is a zero-argument factory returning a fresh observer
+    list for every serve row (observers such as
+    :class:`repro.obs.SpanTracer` are single-serve) — e.g.
+    ``observers=lambda: [SpanTracer()]``.  When the factory yields a
+    :class:`~repro.obs.SpanTracer` and ``slo_classes`` is set, every row
+    gains the SLO-violation attribution columns (``slo_violations`` and
+    the ``blame_*_s`` per-component totals over violating requests);
+    without it they report zeros.  See ``docs/observability.md``.
     """
+    if observers is not None and not callable(observers):
+        raise ConfigurationError(
+            "observers must be a zero-argument factory returning a fresh "
+            "observer list per serve row (e.g. lambda: [SpanTracer()])"
+        )
     result = ExperimentResult(
         "serving_rate_sweep",
         "Serving: TTFT/TPOT percentiles and goodput vs arrival rate",
@@ -216,7 +231,7 @@ def serving_rate_sweep(model: str = "opt-6.7b",
             record_mode=record_mode, workload=workload,
             slo_classes=slo_classes, preemption=preemption,
             prefill_chunk_tokens=prefill_chunk_tokens,
-            closed_loop=closed_loop)
+            closed_loop=closed_loop, observers=observers)
     engines: dict[tuple[str, str], ContinuousBatchingEngine] = {}
     specs: dict[str, ParallelismSpec] = {}
     for entry in parallelism:
@@ -243,7 +258,10 @@ def serving_rate_sweep(model: str = "opt-6.7b",
             trace = engine.serve(source, record_mode=record_mode,
                                  ttft_slo_s=ttft_slo_s,
                                  tpot_slo_s=tpot_slo_s,
-                                 class_slos=slo_classes)
+                                 class_slos=slo_classes,
+                                 observers=(observers()
+                                            if observers is not None
+                                            else None))
             summary = trace.summary()
             solver = trace.metadata.get("scheduler", {})
             shards = trace.metadata["shards"]
@@ -276,6 +294,7 @@ def serving_rate_sweep(model: str = "opt-6.7b",
                 prefill_chunks_per_request=summary[
                     "prefill_chunks_per_request"],
                 **_per_class_columns(trace, slo_classes),
+                **_attribution_columns(trace),
                 **{f"solver_{name}": solver.get(name, 0)
                    for name in SOLVER_STAT_COLUMNS},
             )
@@ -310,6 +329,25 @@ def _per_class_columns(trace, slo_classes) -> dict:
     return {f"goodput_{name}_tokens_per_s":
             per_class.get(name, {}).get("goodput_tokens_per_s", 0.0)
             for name in sorted(slo_classes)}
+
+
+#: Latency components in the SLO-violation blame columns.
+ATTRIBUTION_COLUMNS = ("queueing_s", "prefill_s", "preemption_s", "decode_s")
+
+
+def _attribution_columns(trace) -> dict:
+    """SLO-violation blame columns — zeros unless a
+    :class:`repro.obs.SpanTracer` observed the serve with ``slo_classes``
+    configured, so sweep rows stay rectangular either way."""
+    table = trace.metadata.get("slo_attribution") or {}
+    totals = {key: 0.0 for key in ATTRIBUTION_COLUMNS}
+    for entry in table.get("classes", {}).values():
+        for key in ATTRIBUTION_COLUMNS:
+            totals[key] += entry[key]
+    columns = {"slo_violations": table.get("violations", 0)}
+    columns.update({f"blame_{key}": value
+                    for key, value in totals.items()})
+    return columns
 
 
 def _note_workload(result, workload, slo_classes, preemption,
@@ -356,7 +394,7 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
                         pp_microbatches, require_equal_gpus,
                         record_mode="full", workload=None, slo_classes=None,
                         preemption=None, prefill_chunk_tokens=None,
-                        closed_loop=False) -> ExperimentResult:
+                        closed_loop=False, observers=None) -> ExperimentResult:
     """Cluster-axis body of :func:`serving_rate_sweep`.
 
     One :class:`ReplicaGroup` per (cluster entry, system), reused across
@@ -406,7 +444,10 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
                                     record_mode=record_mode,
                                     ttft_slo_s=ttft_slo_s,
                                     tpot_slo_s=tpot_slo_s,
-                                    class_slos=slo_classes)
+                                    class_slos=slo_classes,
+                                    observers=(observers()
+                                               if observers is not None
+                                               else None))
                 summary = trace.summary()
                 solver = trace.metadata.get("scheduler", {})
                 result.add(
@@ -439,6 +480,7 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
                     prefill_chunks_per_request=summary[
                         "prefill_chunks_per_request"],
                     **_per_class_columns(trace, slo_classes),
+                    **_attribution_columns(trace),
                     **{f"solver_{name}": solver.get(name, 0)
                        for name in SOLVER_STAT_COLUMNS},
                 )

@@ -1,0 +1,74 @@
+"""CLI: render the SLO blame table of an exported observability trace.
+
+Usage::
+
+    python -m repro.obs.report trace.json
+
+``trace.json`` is a Chrome trace-event file written by
+:meth:`repro.obs.spans.SpanTracer.export`: its ``otherData`` section
+carries the per-class SLO attribution table and the per-request latency
+components this report renders.  The trace-event part of the same file
+loads in Perfetto — one file serves both the visual and the tabular view.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.obs.attribution import COMPONENTS, format_blame_table
+
+
+def render(payload: dict) -> str:
+    """The report text for one exported trace payload."""
+    other = payload.get("otherData")
+    if not isinstance(other, dict) or "requests" not in other:
+        raise ValueError(
+            "not an observability export: no otherData.requests section "
+            "(write the file with SpanTracer.export)"
+        )
+    lines = []
+    table = other.get("slo_attribution")
+    if table:
+        lines.append(format_blame_table(table))
+    else:
+        lines.append("No SLO attribution table (serve ran without "
+                     "class_slos); per-request components follow.")
+    totals = {key: 0.0 for key in COMPONENTS}
+    requests = other["requests"]
+    for entry in requests.values():
+        for key in COMPONENTS:
+            totals[key] += entry["components"][key]
+    lines.append("")
+    lines.append(f"All {len(requests)} completed requests, total seconds "
+                 "by component:")
+    lines.append("  " + "  ".join(f"{key}={totals[key]:.3f}"
+                                  for key in COMPONENTS))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render the per-class SLO blame table of a Chrome "
+                    "trace exported by repro.obs.SpanTracer.")
+    parser.add_argument("trace", type=pathlib.Path,
+                        help="trace JSON written by SpanTracer.export")
+    args = parser.parse_args(argv)
+    try:
+        payload = json.loads(args.trace.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {args.trace}: {error}", file=sys.stderr)
+        return 1
+    try:
+        print(render(payload))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

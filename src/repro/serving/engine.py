@@ -104,12 +104,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from repro._common import ConfigurationError, validate_positive
 from repro.serving.events import (ADMISSION, COMPLETION, EPOCH_BOUNDARY,
-                                  PREEMPTION, PREFILL_CHUNK, drive)
+                                  PREEMPTION, PREFILL_CHUNK,
+                                  check_observers, drive, notify_finish)
 from repro.serving.sketches import DEFAULT_QUANTILES, StreamingTrace
 from repro.serving.trace import (
     RequestRecord,
@@ -196,7 +198,8 @@ class _PrefixCache:
     """
 
     __slots__ = ("entries", "node_total", "shard_total", "hits", "misses",
-                 "evicted", "reused_tokens", "retained", "consumed")
+                 "evicted", "reused_tokens", "retained", "consumed",
+                 "listener")
 
     def __init__(self) -> None:
         self.entries: dict[int, tuple[int, int]] = {}
@@ -208,6 +211,11 @@ class _PrefixCache:
         self.reused_tokens = 0
         self.retained = 0
         self.consumed = 0
+        #: Optional ``listener(event, session_id, tokens)`` callback
+        #: (``event`` in ``"hit"``/``"miss"``/``"evict"``) — the
+        #: observability layer's tap on cache traffic.  ``None`` (the
+        #: default) costs one attribute test per cache interaction.
+        self.listener = None
 
     @property
     def touched(self) -> bool:
@@ -231,6 +239,8 @@ class _PrefixCache:
             self.node_total -= previous[0]
             self.shard_total -= previous[1]
             self.evicted += 1
+            if self.listener is not None:
+                self.listener("evict", session_id, previous[0])
         self.entries[session_id] = (node_tokens, shard_tokens)
         self.node_total += node_tokens
         self.shard_total += shard_tokens
@@ -253,6 +263,8 @@ class _PrefixCache:
             node_freed += tokens
             shard_freed += shard_tokens
             self.evicted += 1
+            if self.listener is not None:
+                self.listener("evict", session_id, tokens)
         return node_freed, shard_freed
 
     def admit(self, request: Request, node_footprint: int,
@@ -285,6 +297,9 @@ class _PrefixCache:
                 self.reused_tokens += prefix_len
             else:
                 self.misses += 1
+            if self.listener is not None:
+                self.listener("hit" if hit else "miss", session_id,
+                              prefix_len)
         node_freed, shard_freed = self.make_room(shard_delta, shard_reserved,
                                                  shard_limit)
         return node_delta - node_freed, shard_delta - shard_freed, hit
@@ -306,6 +321,85 @@ class _PrefixCache:
                 "consumed": self.consumed,
                 "resident": len(self.entries),
                 "hit_rate": self.hits / judged if judged else 0.0}
+
+
+class RunGauges:
+    """Live read-only gauges of one :class:`EngineRun`.
+
+    Handed to observers through
+    :meth:`repro.obs.Observer.on_serve_start`; every property reads the
+    run's *current* state, so sampling the same object from later
+    callbacks (as :class:`repro.obs.MetricsTimeline` does on a simulated
+    interval) sees the state at that instant.  Strictly read-only — the
+    view never mutates the run.
+    """
+
+    __slots__ = ("_run",)
+
+    def __init__(self, run: "EngineRun") -> None:
+        self._run = run
+
+    @property
+    def replica(self) -> int:
+        return self._run.replica
+
+    @property
+    def clock(self) -> float:
+        """The run's simulated clock (seconds)."""
+        return self._run._clock
+
+    @property
+    def batch_size(self) -> int:
+        """Requests currently in the running batch."""
+        return len(self._run._running)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests queued at the replica, not yet admitted."""
+        run = self._run
+        if run._priority:
+            return sum(len(queue)
+                       for queue in run._pending_classes.values())
+        return len(run._pending)
+
+    @property
+    def queue_depth_by_class(self) -> dict[str, int]:
+        """Queue depth per SLO class (all classes, zeros included)."""
+        run = self._run
+        if run._priority:
+            return {name: len(queue)
+                    for name, queue in run._pending_classes.items()}
+        depths = {name: 0 for name in SLO_CLASSES}
+        for request in run._pending:
+            depths[request.slo_class] += 1
+        return depths
+
+    @property
+    def kv_occupancy(self) -> float:
+        """Reserved fraction of the tightest shard's KV budget."""
+        run = self._run
+        if run._shard_limit <= 0:
+            return 0.0
+        return run._shard_reserved / run._shard_limit
+
+    @property
+    def shard_occupancy(self) -> list[float]:
+        """Per-shard reserved fraction (shards fill in lockstep today)."""
+        run = self._run
+        return [run._shard_reserved / budget if budget > 0 else 0.0
+                for budget in run._shard_budgets]
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Running prefix-cache hit rate (0.0 before any judgement)."""
+        prefix = self._run._prefix
+        judged = prefix.hits + prefix.misses
+        return prefix.hits / judged if judged else 0.0
+
+    @property
+    def num_preemptions(self) -> int:
+        """Preemptions so far (cumulative; sample deltas for a rate)."""
+        return self._run._num_preemptions
 
 
 class ContinuousBatchingEngine:
@@ -526,7 +620,8 @@ class ContinuousBatchingEngine:
     def serve(self, requests, record_mode: str = "full",
               ttft_slo_s: float | None = None,
               tpot_slo_s: float | None = None,
-              class_slos: dict | None = None):
+              class_slos: dict | None = None,
+              observers=None):
         """Simulate serving ``requests`` and return the serving trace.
 
         ``requests`` is a list of :class:`Request` or a
@@ -550,7 +645,34 @@ class ContinuousBatchingEngine:
         will answer for.  Like the scalar SLOs it only *binds* in
         streaming mode (full mode computes per-class figures from the
         retained records on demand), but it is validated in both.
+
+        ``observers`` is an optional list of :class:`repro.obs.Observer`
+        instances receiving every simulated-time event (see
+        ``docs/observability.md``).  Observation is passive — traces are
+        bit-identical with and without observers — and event-path only:
+        combining observers with ``exact_stepping=True`` raises.
+
+        ``trace.metadata["wall_clock_s"]`` records the real time the
+        simulation took, so bench regressions can be diagnosed from
+        committed traces.
         """
+        started = perf_counter()
+        observers = check_observers(observers)
+        if observers and self.simulator.exact_stepping:
+            raise ConfigurationError(
+                "observers hook the event-driven path and cannot be "
+                "combined with exact_stepping=True"
+            )
+        trace = self._serve(requests, record_mode, ttft_slo_s, tpot_slo_s,
+                            class_slos, observers)
+        trace.metadata["wall_clock_s"] = perf_counter() - started
+        notify_finish(observers, trace, class_slos)
+        return trace
+
+    def _serve(self, requests, record_mode: str,
+               ttft_slo_s: float | None, tpot_slo_s: float | None,
+               class_slos: dict | None, observers: tuple):
+        """Dispatch one serve to the right source/stepping body."""
         trace = self.make_trace(record_mode, ttft_slo_s, tpot_slo_s,
                                 class_slos=class_slos)
         if hasattr(requests, "pop_next"):
@@ -566,8 +688,8 @@ class ContinuousBatchingEngine:
             run = self.start_run(trace, max_input_len=max_input,
                                  max_output_len=max_output,
                                  observer=requests.on_completion,
-                                 eager_epochs=True)
-            drive(requests, [run], lambda request: 0)
+                                 eager_epochs=True, observers=observers)
+            drive(requests, [run], lambda request: 0, observers=observers)
             return run.finalize()
         if isinstance(requests, RequestStream):
             if self.simulator.exact_stepping:
@@ -578,8 +700,10 @@ class ContinuousBatchingEngine:
                 )
             max_input, max_output = requests.length_bounds
             run = self.start_run(trace, max_input_len=max_input,
-                                 max_output_len=max_output)
-            drive(iter(requests), [run], lambda request: 0)
+                                 max_output_len=max_output,
+                                 observers=observers)
+            drive(iter(requests), [run], lambda request: 0,
+                  observers=observers)
             return run.finalize()
         if not requests:
             trace.metadata.update(kv_budget_tokens=0, peak_reserved_tokens=0,
@@ -592,12 +716,13 @@ class ContinuousBatchingEngine:
         run = self.start_run(
             trace,
             max_input_len=max(r.input_len for r in requests),
-            max_output_len=max(r.output_len for r in requests))
+            max_output_len=max(r.output_len for r in requests),
+            observers=observers)
         for request in requests:  # legacy contract: OOM raises up front
             run.check_admissible(request)
         ordered = sorted(requests,
                          key=lambda r: (r.arrival_time, r.request_id))
-        drive(ordered, [run], lambda request: 0)
+        drive(ordered, [run], lambda request: 0, observers=observers)
         return run.finalize()
 
     def make_trace(self, record_mode: str, ttft_slo_s: float | None = None,
@@ -643,7 +768,8 @@ class ContinuousBatchingEngine:
 
     def start_run(self, trace, max_input_len: int | None = None,
                   max_output_len: int | None = None,
-                  observer=None, eager_epochs: bool = False) -> "EngineRun":
+                  observer=None, eager_epochs: bool = False,
+                  observers: tuple = (), replica: int = 0) -> "EngineRun":
         """Begin one event-driven serve over this engine.
 
         ``max_input_len``/``max_output_len`` bound the lengths of every
@@ -656,7 +782,9 @@ class ContinuousBatchingEngine:
         or a closed-loop source's ``on_completion``).  ``eager_epochs``
         must be True for runs driven by a closed-loop source: the run then
         prices epochs without waiting for its next queue head (which may
-        depend on its own completions).  Drive the run (alone or merged
+        depend on its own completions).  ``observers`` are the serve's
+        observability hooks (see :mod:`repro.obs`) and ``replica`` the
+        index they see this run as.  Drive the run (alone or merged
         with others) through :func:`repro.serving.events.drive`, then call
         :meth:`EngineRun.finalize`.
         """
@@ -666,7 +794,8 @@ class ContinuousBatchingEngine:
             budget = self.kv_budget_tokens_for_bounds(max_input_len,
                                                       max_output_len)
         return EngineRun(self, trace, budget, observer=observer,
-                         eager_epochs=eager_epochs)
+                         eager_epochs=eager_epochs, observers=observers,
+                         replica=replica)
 
     def _serve_clock_loop(self, requests: list[Request], trace):
         """Retained clock-stepped serving loop (``exact_stepping=True``).
@@ -1033,10 +1162,17 @@ class EngineRun:
 
     def __init__(self, engine: ContinuousBatchingEngine, trace,
                  budget_tokens: int, observer=None,
-                 eager_epochs: bool = False) -> None:
+                 eager_epochs: bool = False, observers: tuple = (),
+                 replica: int = 0) -> None:
         self.engine = engine
         self.trace = trace
+        self.replica = replica
         self._observer = observer
+        #: Observability hooks (see repro.obs).  Every hook site below is
+        #: guarded by ``if self._obs`` so an observer-free run executes
+        #: the exact pre-observability instruction stream — bit-identical
+        #: golden journals, zero overhead when disabled.
+        self._obs = tuple(observers) if observers else ()
         self._budget = budget_tokens
         self._shard_budgets = engine.shard_budgets(budget_tokens)
         self._shard_limit = min(self._shard_budgets)
@@ -1089,6 +1225,17 @@ class EngineRun:
         self._solver_before = engine.simulator.schedule_stats()
         self._epoch_hits_before = engine._epoch_hits
         self._epoch_misses_before = engine._epoch_misses
+        if self._obs:
+            self._prefix.listener = self._prefix_event
+            gauges = RunGauges(self)
+            for ob in self._obs:
+                ob.on_serve_start(self.replica, gauges)
+
+    def _prefix_event(self, event: str, session_id, tokens: int) -> None:
+        """Fan the prefix cache's hit/miss/evict traffic out to observers."""
+        for ob in self._obs:
+            ob.on_prefix(self.replica, self._clock, event, session_id,
+                         tokens)
 
     # ------------------------------------------------------------------ #
     # record sink (fans out to the trace and an optional cluster sink)
@@ -1097,6 +1244,9 @@ class EngineRun:
         self.trace.observe(record)
         if self._observer is not None:
             self._observer(record)
+        if self._obs:
+            for ob in self._obs:
+                ob.on_completion(self.replica, record)
 
     # ------------------------------------------------------------------ #
     # driver interface (see repro.serving.events.ReplicaRun)
@@ -1131,6 +1281,9 @@ class EngineRun:
         else:
             self._pending.append(request)
         self._offered += 1
+        if self._obs:
+            for ob in self._obs:
+                ob.on_arrival(self.replica, request.arrival_time, request)
         if self._event is None:
             # A queued arrival can only unblock an idle or head-starved
             # run; an already-scheduled event is never affected (it was
@@ -1149,8 +1302,8 @@ class EngineRun:
             _, end, parts, _, comm = event
             self._apply_chunk(end, parts, comm)
         else:
-            _, end, steps, first, comm_per_step = event
-            self._apply_epoch(end, steps, first, comm_per_step)
+            kind, end, steps, first, comm_per_step = event
+            self._apply_epoch(kind, end, steps, first, comm_per_step)
         return self._cycle()
 
     def close(self) -> tuple[float, str] | None:
@@ -1207,8 +1360,14 @@ class EngineRun:
             else:
                 prefill, prefill_comm = engine._prefill_time(admitted,
                                                              self._memory)
+                prefill_start = self._clock
                 self._clock += prefill
                 self._comm_time += prefill_comm
+                if self._obs and prefill > 0.0:
+                    batch = [wrapper.request for wrapper in admitted]
+                    for ob in self._obs:
+                        ob.on_prefill(self.replica, prefill_start,
+                                      self._clock, batch)
         return self._schedule()
 
     def _admit_fifo(self) -> list[_RunningRequest]:
@@ -1284,6 +1443,11 @@ class EngineRun:
                 self._swap_bytes += num_bytes
                 wrapper.swap_tokens = 0
             self._running.append(wrapper)
+            if self._obs:
+                for ob in self._obs:
+                    ob.on_admission(self.replica, self._clock, request,
+                                    prefix_hit=wrapper.prefix_hit,
+                                    resumed=True)
             return wrapper
         wrapper, node_delta, shard_delta = engine._admit_request(
             request, self._prefix, self._shard_reserved, self._shard_limit,
@@ -1291,6 +1455,11 @@ class EngineRun:
         self._reserved += node_delta
         self._shard_reserved += shard_delta
         self._running.append(wrapper)
+        if self._obs:
+            for ob in self._obs:
+                ob.on_admission(self.replica, self._clock, request,
+                                prefix_hit=wrapper.prefix_hit,
+                                resumed=False)
         return wrapper
 
     def _can_preempt(self, candidate: Request) -> bool:
@@ -1336,6 +1505,7 @@ class EngineRun:
     def _evict(self, victim: _RunningRequest, index: int) -> None:
         engine = self.engine
         request = victim.request
+        evict_start = self._clock
         del self._running[index]
         self._reserved -= request.max_seq_len
         self._shard_reserved -= engine.shard_footprint(request)
@@ -1369,6 +1539,10 @@ class EngineRun:
         victim.chunk_remaining = 0
         self._preempted[request.request_id] = victim
         self._pending_classes[request.slo_class].appendleft(request)
+        if self._obs:
+            for ob in self._obs:
+                ob.on_preemption(self.replica, evict_start, self._clock,
+                                 request, engine.preemption, resident)
 
     def _schedule(self) -> tuple[float, str] | None:
         """Compute the run's next event from its state (None = wait)."""
@@ -1447,6 +1621,7 @@ class EngineRun:
     def _apply_chunk(self, end: float,
                      parts: list[tuple[_RunningRequest, int]],
                      comm: float) -> None:
+        chunk_start = self._clock
         self._clock = end
         self._comm_time += comm
         self._num_chunks += 1
@@ -1457,6 +1632,12 @@ class EngineRun:
         backlog = self._prefill_backlog
         while backlog and backlog[0].chunk_remaining <= 0:
             backlog.popleft()
+        if self._obs:
+            chunk_parts = [(wrapper.request, tokens)
+                           for wrapper, tokens in parts]
+            for ob in self._obs:
+                ob.on_prefill_chunk(self.replica, chunk_start, end,
+                                    chunk_parts)
 
     def _schedule_epoch(self) -> tuple[float, str]:
         engine = self.engine
@@ -1486,12 +1667,20 @@ class EngineRun:
         self._event = (kind, end, steps, first, comm_per_step)
         return (end, kind)
 
-    def _apply_epoch(self, end: float, steps: int, first: float,
+    def _apply_epoch(self, kind: str, end: float, steps: int, first: float,
                      comm_per_step: float) -> None:
         engine = self.engine
+        epoch_start = self._clock
         self._clock = end
         self._num_steps += steps
         self._comm_time += steps * comm_per_step
+        if self._obs:
+            # Before _finish_epoch: the batch here is the epoch's actual
+            # composition (completions leave via observe → on_completion).
+            batch = [r.request for r in self._running]
+            for ob in self._obs:
+                ob.on_epoch(self.replica, epoch_start, end, kind, steps,
+                            first, batch)
         engine._finish_epoch(self._running, self, steps, first, end,
                              self._prefix)
         self._reserved = (sum(r.request.max_seq_len for r in self._running)
@@ -1515,6 +1704,9 @@ class EngineRun:
         if self._finalized:
             return self.trace
         self._finalized = True
+        if self._obs:
+            for ob in self._obs:
+                ob.on_serve_end(self.replica, self._clock)
         engine = self.engine
         trace = self.trace
         if self._offered == 0:

@@ -49,6 +49,7 @@ import heapq
 from typing import Callable, Protocol
 
 from repro._common import ConfigurationError
+from repro.serving.trace import normalize_class_slos
 from repro.workloads.arrivals import Request
 
 #: Event kinds, as they appear in ``drive``'s journal.
@@ -111,9 +112,51 @@ class ContinuationSource(Protocol):
         """True once every request has been popped — none will ever follow."""
 
 
+def check_observers(observers) -> tuple:
+    """Canonicalise an ``observers=`` serve argument to a tuple.
+
+    ``None``/empty becomes ``()`` — the zero-overhead path every hook
+    site guards on.  Anything else must be a list/tuple of objects
+    implementing the :class:`repro.obs.Observer` callbacks (duck-typed:
+    the serving core never imports :mod:`repro.obs`); a plainly wrong
+    argument fails here rather than deep inside a serve.
+    """
+    if not observers:
+        return ()
+    if not isinstance(observers, (list, tuple)):
+        raise ConfigurationError(
+            "observers must be a list/tuple of Observer-like objects "
+            f"(got {type(observers).__name__}; wrap a single observer in "
+            "a list)"
+        )
+    for observer in observers:
+        if not callable(getattr(observer, "on_completion", None)):
+            raise ConfigurationError(
+                f"observer {observer!r} does not implement the Observer "
+                "callbacks (subclass repro.obs.Observer)"
+            )
+    return tuple(observers)
+
+
+def notify_finish(observers, trace, class_slos: dict | None) -> None:
+    """Call every observer's ``finish`` hook with the final trace.
+
+    Runs after the serve's metadata (including ``wall_clock_s``) is
+    written, with the normalized per-class SLOs — the point where e.g.
+    :class:`repro.obs.SpanTracer` attaches
+    ``trace.metadata["slo_attribution"]``.
+    """
+    if not observers:
+        return
+    slos = normalize_class_slos(class_slos)
+    for observer in observers:
+        observer.finish(trace, slos)
+
+
 def drive(source, runs: list[ReplicaRun],
           route: Callable[[Request], int],
-          journal: list | None = None) -> None:
+          journal: list | None = None,
+          observers: tuple = ()) -> None:
     """Run the merged event loop to completion.
 
     ``source`` yields requests in ``(arrival_time, request_id)`` order (one
@@ -123,7 +166,10 @@ def drive(source, runs: list[ReplicaRun],
     dispatch-time routing, exactly as a front-end load balancer decides.
     ``journal``, when given, receives ``(time, kind, run_index)`` tuples
     for every processed event (a test/debug surface; see
-    ``tests/test_serving_events.py``).
+    ``tests/test_serving_events.py``).  ``observers`` receive the same
+    stream through their ``on_event`` hook (see :mod:`repro.obs`),
+    *before* the event is applied — discrete-event state is piecewise
+    constant, so that is the state at the event instant.
 
     A :class:`ContinuationSource` (anything with ``pop_next``) switches to
     the closed-loop body: arrivals are popped only when they precede every
@@ -134,7 +180,7 @@ def drive(source, runs: list[ReplicaRun],
     if not runs:
         raise ConfigurationError("drive needs at least one replica run")
     if hasattr(source, "pop_next"):
-        _drive_continuation(source, runs, route, journal)
+        _drive_continuation(source, runs, route, journal, observers)
         return
     arrivals = iter(source)
     heap: list[tuple] = []
@@ -187,11 +233,17 @@ def drive(source, runs: list[ReplicaRun],
                 )
             if journal is not None:
                 journal.append((time, ARRIVAL, target))
+            if observers:
+                for observer in observers:
+                    observer.on_event(time, ARRIVAL, target)
             push_run_event(target, runs[target].offer(request))
             pull_arrival()
         else:
             if journal is not None:
                 journal.append((time, kind, index))
+            if observers:
+                for observer in observers:
+                    observer.on_event(time, kind, index)
             push_run_event(index, runs[index].advance())
 
     for index, run in enumerate(runs):
@@ -205,7 +257,8 @@ def drive(source, runs: list[ReplicaRun],
 
 def _drive_continuation(source, runs: list[ReplicaRun],
                         route: Callable[[Request], int],
-                        journal: list | None = None) -> None:
+                        journal: list | None = None,
+                        observers: tuple = ()) -> None:
     """Closed-loop body of :func:`drive` (see :class:`ContinuationSource`).
 
     The one-ahead pull of the open-loop body is unsound here: a completion
@@ -247,6 +300,9 @@ def _drive_continuation(source, runs: list[ReplicaRun],
                 )
             if journal is not None:
                 journal.append((request.arrival_time, ARRIVAL, target))
+            if observers:
+                for observer in observers:
+                    observer.on_event(request.arrival_time, ARRIVAL, target)
             push_run_event(target, runs[target].offer(request))
             continue
         if ready is None and source.exhausted and not closed:
@@ -259,6 +315,9 @@ def _drive_continuation(source, runs: list[ReplicaRun],
         time, _, _, kind, index, _ = heapq.heappop(heap)
         if journal is not None:
             journal.append((time, kind, index))
+        if observers:
+            for observer in observers:
+                observer.on_event(time, kind, index)
         push_run_event(index, runs[index].advance())
 
     if not source.exhausted:

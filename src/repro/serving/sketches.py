@@ -37,6 +37,7 @@ construction; :meth:`StreamingTrace.goodput` answers only for those SLOs
 from __future__ import annotations
 
 import bisect
+import math
 
 import numpy as np
 
@@ -77,6 +78,13 @@ class P2Quantile:
 
     def observe(self, value: float) -> None:
         value = float(value)
+        if math.isnan(value):
+            # NaN poisons every marker comparison silently (all orderings
+            # are False), so the sketch would drift without any error —
+            # reject it at the door instead.
+            raise ConfigurationError(
+                "cannot observe NaN: P² marker comparisons are undefined"
+            )
         self.count += 1
         markers = self._markers
         if self._positions is None:

@@ -44,6 +44,47 @@ class TestP2Quantile:
             assert estimator.value == pytest.approx(expected, abs=1e-12)
 
     @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_below_five_samples_matches_numpy_exactly(self, q, n):
+        # The marker phase has not started yet: the estimator is holding
+        # the raw sorted values and must reproduce np.percentile bit for
+        # bit, for every sample count below the five-marker threshold.
+        rng = np.random.default_rng(41)
+        values = list(rng.exponential(2.0, n))
+        estimator = P2Quantile(q)
+        for value in values:
+            estimator.observe(value)
+        assert estimator.count == n
+        assert estimator.value == float(np.percentile(values, q * 100.0))
+
+    @pytest.mark.parametrize("n", [3, 5, 50])
+    def test_all_equal_samples_collapse_to_that_value(self, n):
+        # Degenerate stream: every marker gap is zero, which exercises the
+        # parabolic/linear fallback divisions — the estimate must stay the
+        # constant without a ZeroDivisionError or drift.
+        estimator = P2Quantile(0.9)
+        for _ in range(n):
+            estimator.observe(7.25)
+        assert estimator.value == 7.25
+
+    def test_nan_observation_is_rejected(self):
+        # NaN makes every marker comparison False, silently corrupting the
+        # sketch; observe() must refuse it and leave the state untouched.
+        estimator = P2Quantile(0.5)
+        for value in (1.0, 2.0, 3.0):
+            estimator.observe(value)
+        with pytest.raises(ConfigurationError):
+            estimator.observe(float("nan"))
+        assert estimator.count == 3
+        assert estimator.value == 2.0
+        # Also after the marker phase begins (>= 5 observations).
+        for value in (4.0, 5.0, 6.0):
+            estimator.observe(value)
+        with pytest.raises(ConfigurationError):
+            estimator.observe(float("nan"))
+        assert estimator.count == 6
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
     @pytest.mark.parametrize("seed,sampler", [
         (0, lambda rng, n: rng.normal(10.0, 2.0, n)),
         (1, lambda rng, n: rng.exponential(3.0, n)),
