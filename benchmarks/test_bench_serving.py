@@ -12,6 +12,7 @@ from repro.baselines import VLLMSystem
 from repro.cluster import ReplicaGroup
 from repro.core.engine import AlisaSystem
 from repro.experiments import run_experiment
+from repro.faults import FaultEvent, FaultSchedule, RetryPolicy
 from repro.hardware.presets import V100_16GB_NODE
 from repro.obs import Observer, SpanTracer
 from repro.serving import ContinuousBatchingEngine
@@ -177,6 +178,46 @@ def test_bench_serving_million(benchmark):
     assert per_request_big < 1.25 * per_request_small, (
         f"per-request wall-clock grew with the trace: "
         f"{per_request_small * 1e6:.0f}us -> {per_request_big * 1e6:.0f}us")
+
+
+@pytest.mark.benchmark(group="serving")
+def test_bench_fault_recovery(benchmark):
+    """Serving through a mid-trace replica crash: goodput during the
+    outage window and the time to drain the interrupted work after the
+    replica rejoins (``recovery_time_s``)."""
+    fail_at, recover_at = 2.5, 4.0
+    requests = generate_requests(24, rate=8.0, input_len=256,
+                                 output_len=128, seed=0)
+    group = ReplicaGroup.from_layout(
+        lambda node, parallelism: VLLMSystem("opt-6.7b", node,
+                                             parallelism=parallelism),
+        "2x(none)", V100_16GB_NODE)
+    faults = FaultSchedule([FaultEvent(1, fail_at, recover_at,
+                                       mode="crash")])
+
+    def serve():
+        return group.serve(requests, policy="jsq", faults=faults,
+                           retry=RetryPolicy(max_retries=3,
+                                             backoff_s=0.05))
+
+    trace = benchmark(serve)
+    completed = trace.completed_records
+    assert len(completed) == 24  # JSQ re-routing + retry loses nothing
+    assert trace.num_retries > 0
+    outage_tokens = sum(r.output_len for r in completed
+                        if fail_at <= r.completion_time <= recover_at)
+    goodput_during_outage = outage_tokens / (recover_at - fail_at)
+    retried = [r.completion_time for r in completed if r.retries > 0]
+    recovery_time = max(max(retried) - recover_at, 0.0)
+    resilience = trace.metadata["resilience"]
+    benchmark.extra_info["goodput_during_outage_tokens_per_s"] = \
+        goodput_during_outage
+    benchmark.extra_info["recovery_time_s"] = recovery_time
+    benchmark.extra_info["num_retries"] = trace.num_retries
+    benchmark.extra_info["availability"] = resilience["availability"]
+    # The surviving replica keeps producing tokens through the outage.
+    assert goodput_during_outage > 0.0
+    assert 0.0 < resilience["availability"] < 1.0
 
 
 @pytest.mark.benchmark(group="serving")

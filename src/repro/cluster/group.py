@@ -227,7 +227,7 @@ class ReplicaGroup:
               tpot_slo_s: float | None = None,
               class_slos: dict | None = None,
               event_journal: list | None = None,
-              observers=None):
+              observers=None, faults=None, retry=None, shedding=None):
         """Serve ``requests`` through one merged event stream.
 
         Every replica becomes an event-driven
@@ -261,11 +261,41 @@ class ReplicaGroup:
         with none registered the serve is bit-identical to an unobserved
         one.  Observers ride the event-driven path and cannot be combined
         with ``exact_stepping=True`` replicas.
+
+        ``faults`` is an optional :class:`~repro.faults.FaultSchedule` of
+        replica outages (``retry`` the
+        :class:`~repro.faults.RetryPolicy` for interrupted requests,
+        ``shedding`` an optional degraded-mode
+        :class:`~repro.faults.LoadShedder`).  Fault serves always route
+        *live* with health-aware candidates — failed replicas leave every
+        policy's candidate set and rejoin cold on recovery — and the trace
+        gains ``metadata["resilience"]`` (failure/retry/shed counts,
+        downtime, availability).  ``faults=None`` serves are bit-identical
+        to the pre-fault group.
         """
         started = perf_counter()
         policy = self.policy if policy is None else policy
         seed = self.seed if seed is None else seed
         observers = check_observers(observers)
+        if faults is not None:
+            if hasattr(requests, "pop_next"):
+                raise ConfigurationError(
+                    "fault injection does not support closed-loop sources "
+                    "— lower the session trace to its open-loop request "
+                    "stream"
+                )
+            if any(engine.simulator.exact_stepping
+                   for engine in self.engines):
+                raise ConfigurationError(
+                    "fault injection schedules new event kinds and is only "
+                    "implemented on the event-driven path; it cannot be "
+                    "combined with exact_stepping=True replicas"
+                )
+        elif retry is not None or shedding is not None:
+            raise ConfigurationError(
+                "retry=/shedding= configure fault recovery and need a "
+                "faults= schedule to act on"
+            )
         if observers and any(engine.simulator.exact_stepping
                              for engine in self.engines):
             raise ConfigurationError(
@@ -303,6 +333,25 @@ class ReplicaGroup:
                 engine.kv_budget_tokens_for_bounds(*bounds)
                 for engine in self.engines)
             upfront: list[tuple[Request, int]] = []
+        elif faults is not None:
+            # Fault serves route live even from a list: health changes
+            # mid-trace, so a routing pre-pass replay would dispatch to
+            # replicas that are down (and retries re-route anyway).  Every
+            # replica's budget probe uses the global length bounds — after
+            # a failure any request may land anywhere.
+            source = sorted(requests,
+                            key=lambda r: (r.arrival_time, r.request_id))
+            route, router = self._route_fn(policy, seed)
+            upfront = []
+            if requests:
+                bounds = (max(r.input_len for r in requests),
+                          max(r.output_len for r in requests))
+                share_bounds = [bounds] * self.num_replicas
+                total_budget = sum(engine.kv_budget_tokens(requests)
+                                   for engine in self.engines)
+            else:
+                share_bounds = [None] * self.num_replicas
+                total_budget = None
         else:
             # Routing pre-pass (pure, independent of simulation) so each
             # replica's KV-budget probe sees exactly its share's length
@@ -363,6 +412,7 @@ class ReplicaGroup:
                              _feedback=requests.on_completion):
                     _sink(record)
                     _feedback(record)
+        fault_mode = faults is not None
         runs = []
         for index, (engine, share) in enumerate(zip(self.engines,
                                                     share_bounds)):
@@ -371,20 +421,33 @@ class ReplicaGroup:
             if share is None:
                 runs.append(engine.start_run(trace, observer=observer,
                                              observers=observers,
-                                             replica=index))
+                                             replica=index,
+                                             fault_mode=fault_mode))
             else:
                 runs.append(engine.start_run(trace, max_input_len=share[0],
                                              max_output_len=share[1],
                                              observer=observer,
                                              eager_epochs=closed_loop,
                                              observers=observers,
-                                             replica=index))
+                                             replica=index,
+                                             fault_mode=fault_mode))
         for request, index in upfront:
             # Legacy contract: an impossible request raises before any
             # simulation happens (streams check at their arrival instead).
             runs[index].check_admissible(request)
+        coordinator = None
+        if fault_mode:
+            from repro.faults import FaultCoordinator
+            coordinator = FaultCoordinator(faults, retry=retry,
+                                           shedder=shedding)
+            # Terminal failed/shed records flow straight into the streaming
+            # sink; in full mode they collect on the coordinator and join
+            # the merged records below.
+            coordinator.bind(runs, route, router=router,
+                             observers=observers,
+                             record_sink=observer if streaming else None)
         drive(source, runs, route, journal=event_journal,
-              observers=observers)
+              observers=observers, faults=coordinator)
         traces = [run.finalize() for run in runs]
 
         # Live routing tallies dispatches as the event loop runs, so the
@@ -423,10 +486,19 @@ class ReplicaGroup:
             merged = ClusterTrace.merge(traces, system=simulator.name,
                                         model=simulator.config.name,
                                         metadata=metadata)
+            if coordinator is not None:
+                merged.records.extend(coordinator.records)
+                merged.records.sort(
+                    key=lambda r: (r.completion_time, r.request_id))
+                merged.metadata["resilience"] = coordinator.resilience(
+                    merged.duration, self.num_replicas)
             notify_finish(observers, merged, class_slos)
             return merged
         cluster_trace.replica_traces = traces
         cluster_trace.metadata.update(metadata)
+        if coordinator is not None:
+            cluster_trace.metadata["resilience"] = coordinator.resilience(
+                cluster_trace.duration, self.num_replicas)
         cluster_trace.metadata["replicas"] = [
             {"replica": index, "num_requests": trace.num_requests,
              "generated_tokens": trace.generated_tokens,

@@ -96,6 +96,31 @@ class Router:
         self._rr_next = 0
         #: session-affinity pins: ``session_id -> replica index``.
         self._sessions: dict[int, int] = {}
+        #: Failed replicas (fault injection): excluded from every policy's
+        #: candidate set until :meth:`mark_up`.  Empty on fault-free serves,
+        #: so health filtering never perturbs their routing.
+        self._down: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # replica health (driven by repro.faults.FaultCoordinator)
+    # ------------------------------------------------------------------ #
+    def mark_down(self, index: int) -> None:
+        """Remove replica ``index`` from every policy's candidate set."""
+        if not 0 <= index < self.num_replicas:
+            raise ConfigurationError(
+                f"replica {index} out of range for {self.num_replicas} "
+                f"replicas"
+            )
+        self._down.add(index)
+
+    def mark_up(self, index: int) -> None:
+        """Re-admit a recovered replica as a routing candidate.
+
+        The replica rejoins with whatever load estimates it had (stale
+        in-flight entries retire on their own horizon) — the policies see
+        it as lightly loaded, which is what a cold rejoin looks like.
+        """
+        self._down.discard(index)
 
     # ------------------------------------------------------------------ #
     def assign(self, request: Request,
@@ -111,10 +136,17 @@ class Router:
                 f"need one service estimate per replica "
                 f"({self.num_replicas}), got {len(service_estimates)}"
             )
+        if len(self._down) >= self.num_replicas:
+            raise ConfigurationError(
+                "every replica is marked down; the fault coordinator parks "
+                "arrivals instead of routing them during a total outage"
+            )
         clock = request.arrival_time
         if self.policy == "round-robin":
             index = self._rr_next
-            self._rr_next = (self._rr_next + 1) % self.num_replicas
+            while index in self._down:
+                index = (index + 1) % self.num_replicas
+            self._rr_next = (index + 1) % self.num_replicas
         elif self.policy == "jsq":
             index = self._argmin(
                 lambda i: self._loads[i].outstanding_tokens(clock))
@@ -122,6 +154,11 @@ class Router:
             session_id = getattr(request, "session_id", None)
             index = self._sessions.get(session_id) if session_id is not None \
                 else None
+            if index is not None and index in self._down:
+                # The session's pinned replica failed: its retained prefix
+                # is gone anyway (failures flush the cache), so the session
+                # is re-placed like a new one.
+                index = None
             if index is None:
                 # New session (or a plain request): place by JSQ.
                 index = self._argmin(
@@ -148,7 +185,10 @@ class Router:
         return index
 
     def _argmin(self, score) -> int:
-        return min(range(self.num_replicas),
+        candidates = (range(self.num_replicas) if not self._down
+                      else [i for i in range(self.num_replicas)
+                            if i not in self._down])
+        return min(candidates,
                    key=lambda i: (score(i), self._preference[i]))
 
     # ------------------------------------------------------------------ #

@@ -113,7 +113,10 @@ def serving_rate_sweep(model: str = "opt-6.7b",
                        preemption: str | None = None,
                        prefill_chunk_tokens: int | None = None,
                        closed_loop: bool = False,
-                       observers=None) -> ExperimentResult:
+                       observers=None,
+                       faults=None,
+                       retry=None,
+                       shedding=None) -> ExperimentResult:
     """Sweep the request arrival rate and report serving metrics.
 
     ``input_len``/``output_len`` of ``None`` sample ShareGPT-style
@@ -187,6 +190,14 @@ def serving_rate_sweep(model: str = "opt-6.7b",
     gains the SLO-violation attribution columns (``slo_violations`` and
     the ``blame_*_s`` per-component totals over violating requests);
     without it they report zeros.  See ``docs/observability.md``.
+
+    ``faults`` (a :class:`repro.faults.FaultSchedule`) injects the same
+    replica-outage schedule into every serve row; ``retry`` and
+    ``shedding`` tune the recovery path (see :mod:`repro.faults` and
+    ``docs/robustness.md``).  Every row always carries the resilience
+    columns (``num_failed``, ``num_shed``, ``num_retries``,
+    ``availability``) — zeros and availability 1.0 on fault-free sweeps —
+    so results stay rectangular across the axis.
     """
     if observers is not None and not callable(observers):
         raise ConfigurationError(
@@ -231,7 +242,8 @@ def serving_rate_sweep(model: str = "opt-6.7b",
             record_mode=record_mode, workload=workload,
             slo_classes=slo_classes, preemption=preemption,
             prefill_chunk_tokens=prefill_chunk_tokens,
-            closed_loop=closed_loop, observers=observers)
+            closed_loop=closed_loop, observers=observers,
+            faults=faults, retry=retry, shedding=shedding)
     engines: dict[tuple[str, str], ContinuousBatchingEngine] = {}
     specs: dict[str, ParallelismSpec] = {}
     for entry in parallelism:
@@ -261,7 +273,9 @@ def serving_rate_sweep(model: str = "opt-6.7b",
                                  class_slos=slo_classes,
                                  observers=(observers()
                                             if observers is not None
-                                            else None))
+                                            else None),
+                                 faults=faults, retry=retry,
+                                 shedding=shedding)
             summary = trace.summary()
             solver = trace.metadata.get("scheduler", {})
             shards = trace.metadata["shards"]
@@ -295,6 +309,7 @@ def serving_rate_sweep(model: str = "opt-6.7b",
                     "prefill_chunks_per_request"],
                 **_per_class_columns(trace, slo_classes),
                 **_attribution_columns(trace),
+                **_resilience_columns(trace),
                 **{f"solver_{name}": solver.get(name, 0)
                    for name in SOLVER_STAT_COLUMNS},
             )
@@ -308,7 +323,7 @@ def serving_rate_sweep(model: str = "opt-6.7b",
     _note_workload(result, workload, slo_classes, preemption,
                    input_len, output_len,
                    prefill_chunk_tokens=prefill_chunk_tokens,
-                   closed_loop=closed_loop)
+                   closed_loop=closed_loop, faults=faults)
     return result
 
 
@@ -350,9 +365,21 @@ def _attribution_columns(trace) -> dict:
     return columns
 
 
+def _resilience_columns(trace) -> dict:
+    """Fault-injection columns — zeros (availability 1.0) on fault-free
+    serves, so sweep rows stay rectangular either way."""
+    resilience = trace.metadata.get("resilience") or {}
+    return {
+        "num_failed": trace.num_failed,
+        "num_shed": trace.num_shed,
+        "num_retries": trace.num_retries,
+        "availability": resilience.get("availability", 1.0),
+    }
+
+
 def _note_workload(result, workload, slo_classes, preemption,
                    input_len, output_len, prefill_chunk_tokens=None,
-                   closed_loop=False) -> None:
+                   closed_loop=False, faults=None) -> None:
     """Workload/SLO-class notes shared by both sweep axes."""
     result.notes["workload"] = ("sessions" if workload is not None
                                 else "single-shot")
@@ -360,6 +387,7 @@ def _note_workload(result, workload, slo_classes, preemption,
     result.notes["preemption"] = preemption
     result.notes["prefill_chunk_tokens"] = prefill_chunk_tokens
     result.notes["closed_loop"] = closed_loop
+    result.notes["faults"] = faults is not None
     if workload is not None:
         result.notes["lengths"] = "sessions"
     else:
@@ -394,7 +422,8 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
                         pp_microbatches, require_equal_gpus,
                         record_mode="full", workload=None, slo_classes=None,
                         preemption=None, prefill_chunk_tokens=None,
-                        closed_loop=False, observers=None) -> ExperimentResult:
+                        closed_loop=False, observers=None, faults=None,
+                        retry=None, shedding=None) -> ExperimentResult:
     """Cluster-axis body of :func:`serving_rate_sweep`.
 
     One :class:`ReplicaGroup` per (cluster entry, system), reused across
@@ -447,7 +476,9 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
                                     class_slos=slo_classes,
                                     observers=(observers()
                                                if observers is not None
-                                               else None))
+                                               else None),
+                                    faults=faults, retry=retry,
+                                    shedding=shedding)
                 summary = trace.summary()
                 solver = trace.metadata.get("scheduler", {})
                 result.add(
@@ -481,6 +512,7 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
                         "prefill_chunks_per_request"],
                     **_per_class_columns(trace, slo_classes),
                     **_attribution_columns(trace),
+                    **_resilience_columns(trace),
                     **{f"solver_{name}": solver.get(name, 0)
                        for name in SOLVER_STAT_COLUMNS},
                 )
@@ -496,5 +528,5 @@ def _cluster_rate_sweep(result: ExperimentResult, *, model, base_hardware,
     _note_workload(result, workload, slo_classes, preemption,
                    input_len, output_len,
                    prefill_chunk_tokens=prefill_chunk_tokens,
-                   closed_loop=closed_loop)
+                   closed_loop=closed_loop, faults=faults)
     return result

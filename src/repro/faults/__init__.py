@@ -1,0 +1,42 @@
+"""Deterministic fault injection and failure recovery.
+
+The subsystem has four pieces, composed by the serve layers
+(``ContinuousBatchingEngine.serve(faults=...)`` and
+``ReplicaGroup.serve(faults=...)``):
+
+* :class:`FaultSchedule` — *when* replicas fail and recover: explicit
+  ``(replica, fail_time, recover_time, mode)`` entries or a seeded
+  stochastic MTBF/MTTR model (:meth:`FaultSchedule.stochastic`);
+* :class:`RetryPolicy` — *what happens to interrupted requests*: bounded
+  re-dispatch attempts with exponential backoff in simulated time;
+* :class:`LoadShedder` — *degraded-mode admission control*: sheds the
+  lowest-priority SLO class while the cluster is degraded and the
+  surviving replicas' live :class:`~repro.serving.engine.RunGauges` show
+  pressure;
+* :class:`FaultCoordinator` — the state machine binding them to the event
+  driver (:func:`repro.serving.events.drive`), the health-aware
+  :class:`~repro.cluster.Router`, and the engine runs.
+
+Failure semantics (see ``docs/robustness.md``): ``mode="crash"`` loses all
+resident and prefix-cache KV instantly and interrupts in-flight requests;
+``mode="drain"`` stops admitting and migrates resident work off the
+replica with priced KV-drain transfers, so the retained KV is swapped into
+the destination replica instead of re-prefilled.  Everything is a pure
+function of ``(trace, schedule, seeds)`` — fault journals are
+seed-deterministic, and serves with ``faults=None`` never touch any of
+this code.
+"""
+
+from repro.faults.coordinator import FaultCoordinator
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import FAULT_MODES, FaultEvent, FaultSchedule
+from repro.faults.shedding import LoadShedder
+
+__all__ = [
+    "FAULT_MODES",
+    "FaultCoordinator",
+    "FaultEvent",
+    "FaultSchedule",
+    "LoadShedder",
+    "RetryPolicy",
+]

@@ -1,0 +1,47 @@
+"""Bounded retry with exponential backoff in simulated time."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro._common import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How interrupted requests are re-dispatched.
+
+    A request interrupted by a replica failure is offered back to the
+    router after ``delay(attempt)`` simulated seconds, where ``attempt``
+    counts its re-dispatches so far (1-based).  Once a request has been
+    interrupted more than ``max_retries`` times it terminates as a
+    ``failed`` record instead.  ``drain`` migrations consume the same
+    budget: the backoff clock starts when the migrated KV finishes its
+    priced transfer off the failing replica.
+    """
+
+    max_retries: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries!r}"
+            )
+        if self.backoff_s < 0.0:
+            raise ConfigurationError(
+                f"backoff_s must be >= 0, got {self.backoff_s!r}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Simulated backoff before re-dispatch number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ConfigurationError(
+                f"attempt must be >= 1, got {attempt!r}"
+            )
+        return self.backoff_s * self.backoff_factor ** (attempt - 1)

@@ -1,0 +1,142 @@
+"""Replica-outage schedules: explicit windows or stochastic MTBF/MTTR.
+
+A :class:`FaultSchedule` is pure data — *when* each replica fails and
+recovers, and in which mode — decoupled from *what happens then* (the
+:class:`~repro.faults.retry.RetryPolicy` and
+:class:`~repro.faults.coordinator.FaultCoordinator`).  Schedules are
+validated at construction (windows ordered, per-replica windows disjoint)
+so the event driver can merge :meth:`timeline` into its heap without
+re-checking anything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro._common import ConfigurationError, rng, validate_positive
+from repro.serving.events import REPLICA_FAIL, REPLICA_RECOVER
+
+#: Failure modes, in order of severity.  ``crash`` loses every resident and
+#: prefix-cache KV byte at the fail instant; ``drain`` stops admitting and
+#: migrates resident work off the replica with priced KV-drain transfers.
+FAULT_MODES = ("crash", "drain")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One outage window: ``replica`` is down on ``[fail_time, recover_time)``."""
+
+    replica: int
+    fail_time: float
+    recover_time: float
+    mode: str = "crash"
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAULT_MODES:
+            raise ConfigurationError(
+                f"unknown fault mode {self.mode!r}; known: {FAULT_MODES}"
+            )
+        if self.replica < 0:
+            raise ConfigurationError(
+                f"replica index must be >= 0, got {self.replica}"
+            )
+        if not self.fail_time >= 0.0:
+            raise ConfigurationError(
+                f"fail_time must be >= 0, got {self.fail_time!r}"
+            )
+        if not self.recover_time > self.fail_time:
+            raise ConfigurationError(
+                f"recover_time must exceed fail_time, got "
+                f"[{self.fail_time!r}, {self.recover_time!r}]"
+            )
+
+
+class FaultSchedule:
+    """An ordered, validated set of :class:`FaultEvent` outage windows."""
+
+    def __init__(self, events) -> None:
+        events = tuple(events)
+        for event in events:
+            if not isinstance(event, FaultEvent):
+                raise ConfigurationError(
+                    f"FaultSchedule entries must be FaultEvent, got "
+                    f"{event!r}"
+                )
+        ordered = tuple(sorted(events,
+                               key=lambda e: (e.fail_time, e.replica)))
+        last_recover: dict[int, float] = {}
+        for event in ordered:
+            previous = last_recover.get(event.replica)
+            if previous is not None and event.fail_time <= previous:
+                raise ConfigurationError(
+                    f"overlapping outage windows for replica "
+                    f"{event.replica}: a window starting at "
+                    f"{event.fail_time!r} begins before the previous one "
+                    f"recovers at {previous!r}"
+                )
+            last_recover[event.replica] = event.recover_time
+        self.events = ordered
+
+    @classmethod
+    def stochastic(cls, num_replicas: int, mtbf_s: float, mttr_s: float,
+                   horizon_s: float, seed: int = 0,
+                   mode: str = "crash") -> "FaultSchedule":
+        """Sample outage windows from an alternating-renewal MTBF/MTTR model.
+
+        Each replica alternates exponential up-times (mean ``mtbf_s``) and
+        down-times (mean ``mttr_s``) until ``horizon_s``; the draw order is
+        fixed (replica by replica, up then down), so the schedule is a pure
+        function of ``(num_replicas, mtbf_s, mttr_s, horizon_s, seed)``.
+        """
+        validate_positive(num_replicas=num_replicas, mtbf_s=mtbf_s,
+                          mttr_s=mttr_s, horizon_s=horizon_s)
+        generator = rng(seed)
+        events = []
+        for replica in range(num_replicas):
+            clock = 0.0
+            while True:
+                clock += float(generator.exponential(mtbf_s))
+                if clock >= horizon_s:
+                    break
+                down = float(generator.exponential(mttr_s))
+                events.append(FaultEvent(replica, clock, clock + down, mode))
+                clock += down
+        return cls(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, FaultSchedule)
+                and self.events == other.events)
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({list(self.events)!r})"
+
+    def max_replica(self) -> int:
+        """Highest replica index named by any window (-1 when empty)."""
+        return max((event.replica for event in self.events), default=-1)
+
+    def timeline(self) -> list[tuple[float, str, int]]:
+        """The merged ``(time, kind, replica)`` fail/recover event stream.
+
+        Recoveries sort before failures at equal timestamps so capacity is
+        never understated at an instant where one replica hands off to
+        another.
+        """
+        entries = []
+        for event in self.events:
+            entries.append((event.fail_time, 1, REPLICA_FAIL, event.replica))
+            entries.append((event.recover_time, 0, REPLICA_RECOVER,
+                            event.replica))
+        entries.sort(key=lambda entry: (entry[0], entry[1], entry[3]))
+        return [(time, kind, replica) for time, _, kind, replica in entries]
+
+    def downtime_s(self, horizon_s: float) -> float:
+        """Total replica-seconds of outage clipped to ``[0, horizon_s]``."""
+        total = 0.0
+        for event in self.events:
+            start = min(event.fail_time, horizon_s)
+            end = min(event.recover_time, horizon_s)
+            total += end - start
+        return total

@@ -1,0 +1,64 @@
+"""Degraded-mode load shedding driven by live engine gauges.
+
+The first *observability-driven control* policy (ROADMAP): instead of a
+router-side estimate, the shedder reads the same live
+:class:`~repro.serving.engine.RunGauges` views the observers see and drops
+low-priority arrivals while the cluster cannot hold its interactive SLO —
+i.e. while at least one replica is down *and* the surviving replicas show
+queue or KV pressure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro._common import ConfigurationError
+from repro.workloads.arrivals import SLO_CLASSES
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadShedder:
+    """Shed ``classes`` arrivals while degraded and under pressure.
+
+    ``classes`` defaults to the lowest-priority SLO class
+    (``SLO_CLASSES[-1]``, i.e. ``"batch"``).  An arrival of a sheddable
+    class is dropped (terminating as a ``shed`` record) when at least one
+    replica is down and any surviving replica's live gauges meet either
+    threshold; with the default zero thresholds every sheddable arrival is
+    dropped for the whole outage window — the maximally protective
+    setting for the interactive tier.  Retries of already-admitted work
+    are never shed: shedding controls *new* load.
+    """
+
+    classes: tuple[str, ...] = (SLO_CLASSES[-1],)
+    queue_depth: int = 0
+    kv_occupancy: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in self.classes:
+            if name not in SLO_CLASSES:
+                raise ConfigurationError(
+                    f"unknown SLO class {name!r}; known: {SLO_CLASSES}"
+                )
+        if not self.classes:
+            raise ConfigurationError("LoadShedder needs at least one class")
+        if self.queue_depth < 0:
+            raise ConfigurationError(
+                f"queue_depth must be >= 0, got {self.queue_depth!r}"
+            )
+        if not 0.0 <= self.kv_occupancy <= 1.0:
+            raise ConfigurationError(
+                f"kv_occupancy must be in [0, 1], got {self.kv_occupancy!r}"
+            )
+
+    def should_shed(self, request, degraded: bool, gauges) -> bool:
+        """Drop ``request``?  ``gauges`` are the surviving replicas' views."""
+        if not degraded or request.slo_class not in self.classes:
+            return False
+        if not gauges:
+            # Every replica is down: sheddable load has nowhere to go and
+            # would only deepen the recovery backlog.
+            return True
+        return any(gauge.queue_depth >= self.queue_depth
+                   or gauge.kv_occupancy >= self.kv_occupancy
+                   for gauge in gauges)

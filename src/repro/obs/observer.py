@@ -93,6 +93,25 @@ class Observer:
         """Prefix-cache traffic: ``event`` is ``"hit"``, ``"miss"``, or
         ``"evict"``; ``tokens`` sizes the entry involved."""
 
+    def on_replica_fail(self, replica: int, time: float,
+                        mode: str) -> None:
+        """``replica`` went down (fault injection); ``mode`` is
+        ``"crash"`` (KV lost instantly) or ``"drain"`` (resident work
+        migrated with priced KV transfers)."""
+
+    def on_replica_recover(self, replica: int, time: float) -> None:
+        """``replica`` came back up, cold (empty KV, flushed prefix
+        cache)."""
+
+    def on_retry(self, replica: int, time: float, request,
+                 attempt: int) -> None:
+        """``request``, interrupted on failed ``replica``, will re-enter
+        the arrival stream at ``time`` as retry number ``attempt``."""
+
+    def on_shed(self, time: float, request) -> None:
+        """``request`` was dropped by degraded-mode load shedding (it
+        terminates as a ``shed`` record, never reaching a replica)."""
+
     def on_event(self, time: float, kind: str, replica: int) -> None:
         """Raw driver stream: every event the merged heap processed, in
         order (the same tuples an ``event_journal`` receives)."""

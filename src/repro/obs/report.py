@@ -46,6 +46,18 @@ def render(payload: dict) -> str:
                  "by component:")
     lines.append("  " + "  ".join(f"{key}={totals[key]:.3f}"
                                   for key in COMPONENTS))
+    resilience = other.get("resilience")
+    if resilience:
+        lines.append("")
+        lines.append("Resilience (fault injection):")
+        lines.append(
+            f"  failures={resilience['num_failures']}  "
+            f"retries={resilience['num_retries']}  "
+            f"failed={resilience['num_failed']}  "
+            f"shed={resilience['num_shed']}")
+        lines.append(
+            f"  downtime_s={resilience['downtime_s']:.3f}  "
+            f"availability={resilience['availability']:.4f}")
     return "\n".join(lines)
 
 

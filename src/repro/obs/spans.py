@@ -100,6 +100,14 @@ class SpanTracer(Observer):
         #: per-class SLOs were in force (``None`` otherwise).
         self.attribution: dict | None = None
         self._class_slos: dict = {}
+        #: replica -> (fail_time, mode) of an outage still open.
+        self._outage_started: dict[int, tuple[float, str]] = {}
+        #: Closed ``(replica, start, end, mode)`` outage windows.
+        self._outages: list[tuple[int, float, float, str]] = []
+        #: Instant fault markers: ``(name, replica, time, args)``.
+        self._fault_marks: list[tuple[str, int, float, dict]] = []
+        #: The serve's resilience metadata block (fault serves only).
+        self._resilience: dict | None = None
 
     # ------------------------------------------------------------------ #
     # engine hooks
@@ -109,6 +117,14 @@ class SpanTracer(Observer):
         self._engine_slices.setdefault(replica, [])
 
     def on_arrival(self, replica: int, time: float, request) -> None:
+        state = self._states.get(request.request_id)
+        if state is not None:
+            # Retry re-dispatch after a replica failure: keep the span
+            # history from the failed attempt; the request simply queues
+            # again on its new replica (the gap shows up as queue time).
+            state.replica = replica
+            state.status = "queued"
+            return
         self._states[request.request_id] = _RequestSpans(
             request, replica, time)
 
@@ -170,7 +186,33 @@ class SpanTracer(Observer):
         self._resident.setdefault(replica, set()).discard(
             record.request_id)
 
+    def on_replica_fail(self, replica: int, time: float,
+                        mode: str) -> None:
+        self._outage_started[replica] = (time, mode)
+        self._fault_marks.append(
+            ("replica-fail", replica, time, {"mode": mode}))
+
+    def on_replica_recover(self, replica: int, time: float) -> None:
+        started = self._outage_started.pop(replica, None)
+        if started is not None:
+            start, mode = started
+            self._outages.append((replica, start, time, mode))
+        self._fault_marks.append(("replica-recover", replica, time, {}))
+
+    def on_retry(self, replica: int, time: float, request,
+                 attempt: int) -> None:
+        self._fault_marks.append(
+            ("retry", replica, time,
+             {"request_id": request.request_id, "attempt": attempt}))
+
+    def on_shed(self, time: float, request) -> None:
+        # Sheds never reach a replica; they mark the first track.
+        self._fault_marks.append(
+            ("shed", 0, time, {"request_id": request.request_id,
+                               "slo_class": request.slo_class}))
+
     def finish(self, trace, class_slos: dict | None = None) -> None:
+        self._resilience = trace.metadata.get("resilience")
         self._class_slos = normalize_class_slos(class_slos)
         self._ensure_components()
         entries = [(state.record, self.components[request_id])
@@ -206,7 +248,11 @@ class SpanTracer(Observer):
         events: list[dict] = []
         replicas = sorted(set(self._engine_slices)
                           | {state.replica
-                             for state in self._states.values()})
+                             for state in self._states.values()}
+                          | {replica for replica, *_ in self._outages}
+                          | set(self._outage_started)
+                          | {replica
+                             for _, replica, _, _ in self._fault_marks})
         for replica in replicas:
             events.append({"ph": "M", "pid": replica, "tid": 0,
                            "name": "process_name",
@@ -225,6 +271,19 @@ class SpanTracer(Observer):
                                "name": name, "cat": "engine",
                                "ts": start * scale,
                                "dur": (end - start) * scale, "args": args})
+        # Fault markers (fault serves only): each outage window is a
+        # complete slice on the failed replica's engine track, and the
+        # individual fail/recover/retry/shed events are instants.
+        for replica, start, end, mode in self._outages:
+            events.append({"ph": "X", "pid": replica, "tid": 0,
+                           "name": "outage", "cat": "fault",
+                           "ts": start * scale,
+                           "dur": (end - start) * scale,
+                           "args": {"mode": mode}})
+        for name, replica, time, args in self._fault_marks:
+            events.append({"ph": "i", "pid": replica, "tid": 0,
+                           "name": name, "cat": "fault",
+                           "ts": time * scale, "s": "p", "args": args})
         for request_id, state in sorted(self._states.items()):
             pid = state.replica
             tid = tids[state.request.slo_class]
@@ -263,6 +322,9 @@ class SpanTracer(Observer):
                  # let the report fall back to the raw components.
                  "slo_attribution": (self.attribution if self._class_slos
                                      else None),
+                 # Fault serves carry the resilience block alongside the
+                 # attribution tables (None on fault-free serves).
+                 "resilience": self._resilience,
                  "requests": self._request_payloads()}
         return {"traceEvents": events, "displayTimeUnit": "ms",
                 "otherData": other}

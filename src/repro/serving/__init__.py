@@ -23,6 +23,8 @@ from repro.serving.events import (
     EPOCH_BOUNDARY,
     PREEMPTION,
     PREFILL_CHUNK,
+    REPLICA_FAIL,
+    REPLICA_RECOVER,
     ContinuationSource,
     drive,
 )
@@ -50,6 +52,8 @@ __all__ = [
     "PREEMPTION",
     "PREEMPTION_MODES",
     "PREFILL_CHUNK",
+    "REPLICA_FAIL",
+    "REPLICA_RECOVER",
     "ContinuationSource",
     "ContinuousBatchingEngine",
     "EngineRun",

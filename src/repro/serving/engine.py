@@ -304,6 +304,22 @@ class _PrefixCache:
                                                  shard_limit)
         return node_delta - node_freed, shard_delta - shard_freed, hit
 
+    def flush(self) -> None:
+        """Drop every resident entry (a replica failure: the KV is gone).
+
+        Each drop is ledgered as an eviction and fires the listener, so
+        cache conservation (``retained == consumed + evicted + resident``)
+        survives failures and observers see the flush as evict traffic.
+        """
+        while self.entries:
+            session_id = next(iter(self.entries))
+            tokens, shard_tokens = self.entries.pop(session_id)
+            self.node_total -= tokens
+            self.shard_total -= shard_tokens
+            self.evicted += 1
+            if self.listener is not None:
+                self.listener("evict", session_id, tokens)
+
     def stats(self) -> dict:
         """The ``metadata["prefix_cache"]`` payload.
 
@@ -621,7 +637,7 @@ class ContinuousBatchingEngine:
               ttft_slo_s: float | None = None,
               tpot_slo_s: float | None = None,
               class_slos: dict | None = None,
-              observers=None):
+              observers=None, faults=None, retry=None, shedding=None):
         """Simulate serving ``requests`` and return the serving trace.
 
         ``requests`` is a list of :class:`Request` or a
@@ -652,6 +668,15 @@ class ContinuousBatchingEngine:
         bit-identical with and without observers — and event-path only:
         combining observers with ``exact_stepping=True`` raises.
 
+        ``faults`` is an optional :class:`~repro.faults.FaultSchedule`
+        describing replica-0 outages on this single-replica serve (see
+        :mod:`repro.faults`; multi-replica schedules belong on
+        :meth:`~repro.cluster.group.ReplicaGroup.serve`).  ``retry`` is
+        the :class:`~repro.faults.RetryPolicy` for interrupted requests
+        and ``shedding`` an optional :class:`~repro.faults.LoadShedder`;
+        both require ``faults``.  Fault injection is event-path only, and
+        ``faults=None`` serves are bit-identical to the pre-fault engine.
+
         ``trace.metadata["wall_clock_s"]`` records the real time the
         simulation took, so bench regressions can be diagnosed from
         committed traces.
@@ -663,11 +688,87 @@ class ContinuousBatchingEngine:
                 "observers hook the event-driven path and cannot be "
                 "combined with exact_stepping=True"
             )
-        trace = self._serve(requests, record_mode, ttft_slo_s, tpot_slo_s,
-                            class_slos, observers)
+        if faults is None:
+            if retry is not None or shedding is not None:
+                raise ConfigurationError(
+                    "retry=/shedding= configure fault recovery and need a "
+                    "faults= schedule to act on"
+                )
+            trace = self._serve(requests, record_mode, ttft_slo_s,
+                                tpot_slo_s, class_slos, observers)
+        else:
+            trace = self._serve_with_faults(
+                requests, record_mode, ttft_slo_s, tpot_slo_s, class_slos,
+                observers, faults, retry, shedding)
         trace.metadata["wall_clock_s"] = perf_counter() - started
         notify_finish(observers, trace, class_slos)
         return trace
+
+    def _serve_with_faults(self, requests, record_mode: str,
+                           ttft_slo_s: float | None,
+                           tpot_slo_s: float | None,
+                           class_slos: dict | None, observers: tuple,
+                           faults, retry, shedding):
+        """Single-replica fault-injection serve (see :mod:`repro.faults`)."""
+        from repro.faults import FaultCoordinator
+        if self.simulator.exact_stepping:
+            raise ConfigurationError(
+                "fault injection schedules new event kinds and is only "
+                "implemented on the event-driven path; it cannot be "
+                "combined with exact_stepping=True"
+            )
+        if hasattr(requests, "pop_next"):
+            raise ConfigurationError(
+                "fault injection does not support closed-loop sources — "
+                "lower the session trace to its open-loop request stream"
+            )
+        trace = self.make_trace(record_mode, ttft_slo_s, tpot_slo_s,
+                                class_slos=class_slos)
+        coordinator = FaultCoordinator(faults, retry=retry, shedder=shedding)
+        if isinstance(requests, RequestStream):
+            max_input, max_output = requests.length_bounds
+            source = iter(requests)
+        else:
+            if not requests:
+                # Still reject a schedule naming replicas the serve does
+                # not have — an empty trace must not mask a bad config.
+                if faults.max_replica() >= 1:
+                    raise ConfigurationError(
+                        f"fault schedule names replica "
+                        f"{faults.max_replica()} but the serve has only "
+                        f"1 replicas"
+                    )
+                trace.metadata.update(
+                    kv_budget_tokens=0, peak_reserved_tokens=0,
+                    num_epochs=0, num_decode_steps=0, pcie_bytes=0.0,
+                    shards=[], comm_time_s=0.0, comm_time_share=0.0,
+                    resilience={"num_failures": 0, "num_retries": 0,
+                                "num_failed": 0, "num_shed": 0,
+                                "downtime_s": 0.0, "availability": 1.0})
+                return trace
+            max_input = max(r.input_len for r in requests)
+            max_output = max(r.output_len for r in requests)
+            source = sorted(requests,
+                            key=lambda r: (r.arrival_time, r.request_id))
+        run = self.start_run(trace, max_input_len=max_input,
+                             max_output_len=max_output,
+                             observers=observers, fault_mode=True)
+        record_sink = (trace.observe if record_mode == "streaming" else None)
+        coordinator.bind([run], lambda request: 0, router=None,
+                         observers=observers, record_sink=record_sink)
+        if isinstance(source, list):
+            for request in source:  # legacy contract: OOM raises up front
+                run.check_admissible(request)
+        drive(source, [run], lambda request: 0, observers=observers,
+              faults=coordinator)
+        result = run.finalize()
+        if record_sink is None:
+            result.records.extend(coordinator.records)
+            result.records.sort(
+                key=lambda r: (r.completion_time, r.request_id))
+        result.metadata["resilience"] = coordinator.resilience(
+            result.duration, 1)
+        return result
 
     def _serve(self, requests, record_mode: str,
                ttft_slo_s: float | None, tpot_slo_s: float | None,
@@ -769,7 +870,8 @@ class ContinuousBatchingEngine:
     def start_run(self, trace, max_input_len: int | None = None,
                   max_output_len: int | None = None,
                   observer=None, eager_epochs: bool = False,
-                  observers: tuple = (), replica: int = 0) -> "EngineRun":
+                  observers: tuple = (), replica: int = 0,
+                  fault_mode: bool = False) -> "EngineRun":
         """Begin one event-driven serve over this engine.
 
         ``max_input_len``/``max_output_len`` bound the lengths of every
@@ -786,7 +888,11 @@ class ContinuousBatchingEngine:
         observability hooks (see :mod:`repro.obs`) and ``replica`` the
         index they see this run as.  Drive the run (alone or merged
         with others) through :func:`repro.serving.events.drive`, then call
-        :meth:`EngineRun.finalize`.
+        :meth:`EngineRun.finalize`.  ``fault_mode`` builds a run that a
+        :class:`~repro.faults.FaultCoordinator` may fail and recover:
+        late, out-of-order retry offers are accepted and the run exposes
+        the coordinator's :meth:`EngineRun.fail`/:meth:`EngineRun.recover`
+        surface.
         """
         if max_input_len is None or max_output_len is None:
             budget = 0
@@ -795,7 +901,7 @@ class ContinuousBatchingEngine:
                                                       max_output_len)
         return EngineRun(self, trace, budget, observer=observer,
                          eager_epochs=eager_epochs, observers=observers,
-                         replica=replica)
+                         replica=replica, fault_mode=fault_mode)
 
     def _serve_clock_loop(self, requests: list[Request], trace):
         """Retained clock-stepped serving loop (``exact_stepping=True``).
@@ -1163,7 +1269,7 @@ class EngineRun:
     def __init__(self, engine: ContinuousBatchingEngine, trace,
                  budget_tokens: int, observer=None,
                  eager_epochs: bool = False, observers: tuple = (),
-                 replica: int = 0) -> None:
+                 replica: int = 0, fault_mode: bool = False) -> None:
         self.engine = engine
         self.trace = trace
         self.replica = replica
@@ -1206,6 +1312,18 @@ class EngineRun:
         #: would deadlock); epochs priced with an empty queue get no
         #: arrival cut.
         self._eager = eager_epochs
+        #: Fault-injection mode (see repro.faults): the run may be failed
+        #: and recovered mid-serve, and must accept the retry offers that
+        #: implies — after close(), and out of (arrival_time, request_id)
+        #: order.  ``_arrival_floor`` is the latest dispatch instant seen,
+        #: so a retry of an old arrival is never admitted before the
+        #: coordinator actually re-dispatched it.
+        self._fault_mode = fault_mode
+        self._down = False
+        self._num_failures = 0
+        self._drained_bytes = 0.0
+        self._arrival_floor = 0.0
+        self._record_filter = None
         self._clock = 0.0
         self._reserved = 0
         self._shard_reserved = 0
@@ -1241,6 +1359,8 @@ class EngineRun:
     # record sink (fans out to the trace and an optional cluster sink)
     # ------------------------------------------------------------------ #
     def observe(self, record: RequestRecord) -> None:
+        if self._record_filter is not None:
+            record = self._record_filter(record)
         self.trace.observe(record)
         if self._observer is not None:
             self._observer(record)
@@ -1262,19 +1382,34 @@ class EngineRun:
                 f"budget {self._budget}); it can never be admitted"
             )
 
-    def offer(self, request: Request) -> tuple[float, str] | None:
-        """Queue one routed arrival; return a newly scheduled event."""
-        if self._closed:
+    def offer(self, request: Request,
+              now: float | None = None) -> tuple[float, str] | None:
+        """Queue one routed arrival; return a newly scheduled event.
+
+        ``now`` (fault mode only) is the simulated instant the arrival was
+        dispatched to this run — for a retry that is later than the
+        request's original ``arrival_time``, and the run must not admit it
+        before then.
+        """
+        if self._down:
+            raise ConfigurationError(
+                "cannot offer a request to a failed replica — health-aware "
+                "routing must exclude it"
+            )
+        if self._closed and not self._fault_mode:
             raise ConfigurationError(
                 "cannot offer a request to a closed run"
             )
         key = (request.arrival_time, request.request_id)
-        if self._last_key is not None and key < self._last_key:
+        if (self._last_key is not None and key < self._last_key
+                and not self._fault_mode):
             raise ConfigurationError(
                 f"requests must be offered in (arrival_time, request_id) "
                 f"order; got {key} after {self._last_key}"
             )
         self._last_key = key
+        if now is not None and now > self._arrival_floor:
+            self._arrival_floor = now
         self.check_admissible(request)
         if self._priority:
             self._pending_classes[request.slo_class].append(request)
@@ -1321,6 +1456,116 @@ class EngineRun:
     def finished(self) -> bool:
         return (self._closed and self._event is None
                 and not self._has_pending and not self._running)
+
+    # ------------------------------------------------------------------ #
+    # fault surface (driven by repro.faults.FaultCoordinator)
+    # ------------------------------------------------------------------ #
+    def gauges(self) -> RunGauges:
+        """Live gauge view of this run (the load shedder reads these)."""
+        return RunGauges(self)
+
+    def set_record_filter(self, record_filter) -> None:
+        """Install a record transform applied before every sink sees it
+        (the coordinator's retry-count annotation)."""
+        self._record_filter = record_filter
+
+    def stage_resumption(self, wrapper: _RunningRequest) -> None:
+        """Park a migrated wrapper (drain-retained KV) for its re-offer.
+
+        The request is offered right after; admission then takes the
+        preemption-resume path — full footprint re-reserved, the retained
+        host KV swap-in priced on *this* replica's link, the remaining
+        prefill (if it was interrupted mid-chunk) re-chunked here.
+        """
+        self._preempted[wrapper.request.request_id] = wrapper
+
+    def fail(self, time: float, mode: str) -> list:
+        """Take this replica down at ``time``; return its interrupted work.
+
+        Returns ``(ready_time, request, wrapper)`` triples — ``wrapper`` is
+        ``None`` when the request must re-prefill from scratch on its next
+        replica, or a migrated :class:`_RunningRequest` whose retained KV
+        travels with it.
+
+        ``"crash"`` loses everything instantly: queued, running, and
+        preempted requests are interrupted at the fail instant with no
+        wrapper (the node's device *and* host KV images are gone), and any
+        epoch in flight is cancelled — its already-ledgered PCIe traffic
+        stays on the link ledger (documented imprecision: the transfer was
+        issued before the crash).  ``"drain"`` stops admissions but
+        migrates work: each running request's resident KV
+        (``context_length`` minus any un-prefilled chunk backlog) is
+        serialized device-to-host on this replica's link, so its
+        ``ready_time`` is its transfer's end; already-preempted wrappers
+        migrate for free (their KV is in host memory already) and queued
+        requests leave at the fail instant.  Both modes flush the prefix
+        cache — a recovered replica rejoins cold.
+        """
+        engine = self.engine
+        if not self._fault_mode:
+            raise ConfigurationError(
+                "fail() on a run not started with fault_mode=True"
+            )
+        if self._down:
+            raise ConfigurationError(
+                f"replica {self.replica} failed while already down"
+            )
+        self._down = True
+        self._num_failures += 1
+        self._clock = max(self._clock, time)
+        self._event = None  # the in-flight event died with the replica
+        fail_clock = self._clock
+        interrupted: list[tuple[float, Request, _RunningRequest | None]] = []
+        queued: list[Request] = []
+        if self._priority:
+            for name in SLO_CLASSES:
+                queue = self._pending_classes[name]
+                queued.extend(queue)
+                queue.clear()
+        else:
+            queued.extend(self._pending)
+            self._pending.clear()
+        for request in queued:
+            # A preempted request sits in the queue with its wrapper parked
+            # in _preempted; under drain the wrapper's host-resident KV
+            # migrates without a new transfer, under crash it is lost.
+            wrapper = self._preempted.pop(request.request_id, None)
+            if mode == "crash":
+                wrapper = None
+            interrupted.append((fail_clock, request, wrapper))
+        ready = fail_clock
+        for wrapper in self._running:
+            if mode == "drain":
+                resident = wrapper.context_length - wrapper.chunk_remaining
+                if resident > 0:
+                    num_bytes = engine.simulator.cost_model.kv_bytes(
+                        1, resident, engine.simulator.kv_dtype)
+                    ready += self._memory.link.device_to_host(num_bytes)
+                    self._drained_bytes += num_bytes
+                wrapper.swap_tokens = resident
+                wrapper.prefill_tokens = wrapper.chunk_remaining
+                wrapper.chunk_remaining = 0
+                interrupted.append((ready, wrapper.request, wrapper))
+            else:
+                interrupted.append((fail_clock, wrapper.request, None))
+        self._running.clear()
+        self._preempted.clear()
+        self._prefill_backlog.clear()
+        self._prefix.flush()
+        self._reserved = 0
+        self._shard_reserved = 0
+        self._clock = ready
+        return interrupted
+
+    def recover(self, time: float) -> tuple[float, str] | None:
+        """Bring the replica back up (cold) and reschedule if work waits."""
+        if not self._down:
+            raise ConfigurationError(
+                f"replica {self.replica} recovered while not down"
+            )
+        self._down = False
+        self._clock = max(self._clock, time)
+        return self._schedule()
 
     # ------------------------------------------------------------------ #
     # internals: the clock loop's iteration, split at its wait points
@@ -1548,8 +1793,12 @@ class EngineRun:
         """Compute the run's next event from its state (None = wait)."""
         if not self._running:
             if self._has_pending:
-                # Idle with a queued head: wake at its arrival instant.
+                # Idle with a queued head: wake at its arrival instant (but
+                # never before a retry's re-dispatch — the floor is 0.0
+                # outside fault mode).
                 time = max(self._clock, self._next_arrival())
+                if self._arrival_floor > time:
+                    time = self._arrival_floor
                 self._event = (ADMISSION, time)
                 return (time, ADMISSION)
             return None  # awaiting offers, or finished once closed
@@ -1709,6 +1958,11 @@ class EngineRun:
                 ob.on_serve_end(self.replica, self._clock)
         engine = self.engine
         trace = self.trace
+        if self._fault_mode:
+            trace.metadata["faults"] = {
+                "num_failures": self._num_failures,
+                "drained_bytes": self._drained_bytes,
+            }
         if self._offered == 0:
             trace.metadata.update(kv_budget_tokens=0, peak_reserved_tokens=0,
                                   num_epochs=0, num_decode_steps=0,

@@ -69,6 +69,16 @@ PREEMPTION = "preemption"
 #: priced time.  Never emitted with chunking disabled, so chunk-free
 #: journals are unchanged.
 PREFILL_CHUNK = "prefill-chunk"
+#: A replica goes down / comes back per a :mod:`repro.faults` schedule
+#: (serves with ``faults=``).  Fault events outrank even arrivals at equal
+#: timestamps, so routing always sees the current health; never emitted
+#: with ``faults=None``, so fault-free journals are unchanged.
+REPLICA_FAIL = "replica-fail"
+REPLICA_RECOVER = "replica-recover"
+
+#: Marker in the heap's index slot distinguishing re-injected retry
+#: arrivals from source arrivals (which trigger the one-ahead pull).
+_RETRY = "retry"
 
 
 class ReplicaRun(Protocol):
@@ -156,7 +166,8 @@ def notify_finish(observers, trace, class_slos: dict | None) -> None:
 def drive(source, runs: list[ReplicaRun],
           route: Callable[[Request], int],
           journal: list | None = None,
-          observers: tuple = ()) -> None:
+          observers: tuple = (),
+          faults=None) -> None:
     """Run the merged event loop to completion.
 
     ``source`` yields requests in ``(arrival_time, request_id)`` order (one
@@ -176,9 +187,23 @@ def drive(source, runs: list[ReplicaRun],
     scheduled run event, so turns injected by completions mid-loop are
     served in true time order, and runs are closed only once the source is
     exhausted — not merely momentarily empty.
+
+    ``faults``, when given, is a bound
+    :class:`repro.faults.FaultCoordinator` and switches to the
+    fault-injection body (:func:`_drive_with_faults`) — a separate loop,
+    so serves with ``faults=None`` execute exactly the instruction stream
+    they always did.
     """
     if not runs:
         raise ConfigurationError("drive needs at least one replica run")
+    if faults is not None:
+        if hasattr(source, "pop_next"):
+            raise ConfigurationError(
+                "fault injection does not support closed-loop sources — "
+                "lower the session trace to its open-loop request stream"
+            )
+        _drive_with_faults(source, runs, journal, observers, faults)
+        return
     if hasattr(source, "pop_next"):
         _drive_continuation(source, runs, route, journal, observers)
         return
@@ -325,6 +350,127 @@ def _drive_continuation(source, runs: list[ReplicaRun],
             "closed-loop event loop drained with the source still waiting "
             "for completions — a run dropped work without recording it"
         )
+    for index, run in enumerate(runs):
+        if not run.finished:
+            raise ConfigurationError(
+                f"event loop drained with run {index} unfinished — a run "
+                f"scheduled no event while holding work (driver invariant "
+                f"violation)"
+            )
+
+
+def _drive_with_faults(source, runs: list[ReplicaRun],
+                       journal: list | None, observers: tuple,
+                       faults) -> None:
+    """Fault-injection body of :func:`drive`.
+
+    Differences from the open-loop body, each forced by failures:
+
+    * **fault events** — the coordinator's fail/recover timeline is pushed
+      up front at priority ``-2``, so a failure at time ``t`` is processed
+      before an arrival at ``t`` (routing sees current health) and before
+      any run event at ``t`` (an epoch "ending" at the crash instant never
+      lands);
+    * **stale-event invalidation** — invariant 2 ("a scheduled run event
+      never changes") breaks when a replica fails: its in-flight event is
+      cancelled.  Each run's live event sequence number is tracked in
+      ``valid``; popped run events whose sequence no longer matches are
+      skipped;
+    * **coordinator dispatch** — arrivals (and re-injected retries, pushed
+      at priority ``-1`` like source arrivals) route through
+      ``faults.dispatch``, which may shed or park them instead of
+      returning a run index;
+    * **late offers** — retries and parked arrivals may be offered after
+      the source closed and out of ``(arrival_time, request_id)`` order;
+      runs built for fault mode accept both (``EngineRun(fault_mode=True)``).
+    """
+    arrivals = iter(source)
+    heap: list[tuple] = []
+    sequence = 0
+    last_key: tuple[float, int] | None = None
+    closed = False
+    #: Per-run sequence number of the one live scheduled event (0 = none);
+    #: a failure zeroes it, orphaning the heap entry.
+    valid = [0] * len(runs)
+
+    def emit(time: float, kind: str, index: int) -> None:
+        if journal is not None:
+            journal.append((time, kind, index))
+        if observers:
+            for observer in observers:
+                observer.on_event(time, kind, index)
+
+    def push_run_event(index: int, event: tuple[float, str] | None) -> None:
+        nonlocal sequence
+        if event is None:
+            # No new event scheduled; any live one stays valid (only a
+            # failure invalidates).
+            return
+        time, kind = event
+        sequence += 1
+        valid[index] = sequence
+        heapq.heappush(heap, (time, index, sequence, kind, index, None))
+
+    def push_arrival(time: float, marker, request: Request) -> None:
+        nonlocal sequence
+        sequence += 1
+        heapq.heappush(heap, (time, -1, sequence, ARRIVAL, marker, request))
+
+    def dispatch(time: float, request: Request, retrying: bool) -> None:
+        target = faults.dispatch(time, request, retrying)
+        emit(time, ARRIVAL, -1 if target is None else target)
+        if target is not None:
+            push_run_event(target, runs[target].offer(request, now=time))
+
+    def pull_arrival() -> None:
+        nonlocal closed, last_key
+        if closed:
+            return
+        request = next(arrivals, None)
+        if request is None:
+            closed = True
+            for index, run in enumerate(runs):
+                push_run_event(index, run.close())
+            return
+        key = (request.arrival_time, request.request_id)
+        if last_key is not None and key < last_key:
+            raise ConfigurationError(
+                f"arrival source must be sorted by (arrival_time, "
+                f"request_id); got {key} after {last_key}"
+            )
+        last_key = key
+        push_arrival(request.arrival_time, None, request)
+
+    for time, kind, replica in faults.timeline():
+        sequence += 1
+        heapq.heappush(heap, (time, -2, sequence, kind, replica, None))
+
+    pull_arrival()
+    while heap:
+        time, _, seq, kind, index, request = heapq.heappop(heap)
+        if kind == ARRIVAL:
+            from_source = request is not None and index is None
+            dispatch(time, request, retrying=index is _RETRY)
+            if from_source:
+                pull_arrival()
+        elif kind == REPLICA_FAIL:
+            emit(time, REPLICA_FAIL, index)
+            valid[index] = 0  # the run's in-flight event died with it
+            for retry_time, retry_request in faults.fail(time, index):
+                push_arrival(retry_time, _RETRY, retry_request)
+        elif kind == REPLICA_RECOVER:
+            emit(time, REPLICA_RECOVER, index)
+            event, released = faults.recover(time, index)
+            push_run_event(index, event)
+            for parked_request, retrying in released:
+                dispatch(time, parked_request, retrying)
+        else:
+            if seq != valid[index]:
+                continue  # cancelled by a failure after it was scheduled
+            emit(time, kind, index)
+            push_run_event(index, runs[index].advance())
+
+    faults.finish()
     for index, run in enumerate(runs):
         if not run.finished:
             raise ConfigurationError(

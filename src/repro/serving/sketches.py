@@ -281,6 +281,10 @@ class StreamingTrace:
             self._ttft = self._tpot = self._latency = None
         self._quantiles = quantiles
         self._count = 0
+        self._completed = 0
+        self._failed = 0
+        self._shed = 0
+        self._retries = 0
         self._tokens = 0
         self._duration = 0.0
         self._queueing = StreamingMean()
@@ -306,11 +310,25 @@ class StreamingTrace:
     # record sink
     # ------------------------------------------------------------------ #
     def observe(self, record: RequestRecord) -> None:
-        """Fold one completed-request record into the running summary."""
+        """Fold one terminated-request record into the running summary.
+
+        Mirrors :class:`~repro.serving.trace.ServingTrace`'s status
+        filtering: ``failed``/``shed`` records (fault injection only)
+        extend the makespan and the resilience counters but contribute to
+        no latency/token metric — they never generated tokens.
+        """
         self._count += 1
-        self._tokens += record.output_len
+        self._retries += record.retries
         if record.completion_time > self._duration:
             self._duration = record.completion_time
+        if record.status != "completed":
+            if record.status == "failed":
+                self._failed += 1
+            else:
+                self._shed += 1
+            return
+        self._completed += 1
+        self._tokens += record.output_len
         self._queueing.observe(record.queueing_delay)
         self._goodput.observe(record)
         if self._ttft is not None:
@@ -365,9 +383,24 @@ class StreamingTrace:
     def mean_queueing_delay(self) -> float:
         return self._queueing.mean
 
+    @property
+    def num_failed(self) -> int:
+        """Requests that exhausted their retry budget under failures."""
+        return self._failed
+
+    @property
+    def num_shed(self) -> int:
+        """Requests dropped by degraded-mode load shedding."""
+        return self._shed
+
+    @property
+    def num_retries(self) -> int:
+        """Total re-dispatches across all terminated requests."""
+        return self._retries
+
     def _percentiles(self, bank: StreamingPercentiles | None, qs) \
             -> dict[float, float]:
-        if bank is None or self._count == 0:
+        if bank is None or self._completed == 0:
             return {}
         values = bank.values()
         missing = [q for q in qs if float(q) not in values]
@@ -435,9 +468,9 @@ class StreamingTrace:
     @property
     def prefill_chunks_per_request(self) -> float:
         """Mean prefill chunks per request — exact, like the token totals."""
-        if self._count == 0:
+        if self._completed == 0:
             return 0.0
-        return self._prefill_chunks / self._count
+        return self._prefill_chunks / self._completed
 
     def per_class_summary(self, class_slos: dict | None = None) -> dict:
         """Per-SLO-class breakdown with ``ServingTrace``'s keys.
@@ -499,4 +532,7 @@ class StreamingTrace:
             "num_preemptions": self.num_preemptions,
             "p99_preemption_latency_s": self.p99_preemption_latency,
             "prefill_chunks_per_request": self.prefill_chunks_per_request,
+            "num_failed": self.num_failed,
+            "num_shed": self.num_shed,
+            "num_retries": self.num_retries,
         }

@@ -24,6 +24,15 @@ from repro._common import ConfigurationError
 from repro.evaluation.metrics import percentiles, serving_goodput
 from repro.workloads.arrivals import SLO_CLASSES
 
+#: Terminal states a request can reach.  Every arrival terminates as
+#: exactly one record in exactly one of these states; only ``completed``
+#: requests generated tokens, so latency/throughput/goodput metrics are
+#: computed over completed records while ``failed`` (retry budget
+#: exhausted under replica failures) and ``shed`` (dropped by degraded-mode
+#: load shedding) records carry the termination instant for availability
+#: accounting.  Fault-free serves only ever produce ``completed`` records.
+REQUEST_STATUSES = ("completed", "failed", "shed")
+
 
 def normalize_class_slos(class_slos: dict | None) -> dict:
     """Canonicalise a per-class SLO mapping to ``{name: (ttft, tpot)}``.
@@ -70,6 +79,12 @@ class RequestRecord:
     queueing delay is the *preemption latency* the chunked-prefill budget
     bounds — and ``prefill_chunks`` counts the prefill chunks it
     participated in (0 when chunking was disabled).
+
+    Under fault injection (:mod:`repro.faults`) ``status`` records the
+    terminal state (:data:`REQUEST_STATUSES`) and ``retries`` how many
+    times the request was re-dispatched after a replica failure; for
+    ``failed``/``shed`` records the admission/first-token/completion
+    timestamps all equal the termination instant.
     """
 
     request_id: int
@@ -85,6 +100,8 @@ class RequestRecord:
     preemptions: int = 0
     preempting: bool = False
     prefill_chunks: int = 0
+    status: str = "completed"
+    retries: int = 0
 
     def __post_init__(self) -> None:
         if not (self.arrival_time <= self.admission_time
@@ -107,6 +124,15 @@ class RequestRecord:
             raise ConfigurationError(
                 f"request {self.request_id}: prefill_chunks must be "
                 f"non-negative"
+            )
+        if self.status not in REQUEST_STATUSES:
+            raise ConfigurationError(
+                f"request {self.request_id}: unknown status "
+                f"{self.status!r}; known: {list(REQUEST_STATUSES)}"
+            )
+        if self.retries < 0:
+            raise ConfigurationError(
+                f"request {self.request_id}: retries must be non-negative"
             )
 
     @property
@@ -160,18 +186,30 @@ class ServingTrace:
     # ------------------------------------------------------------------ #
     @property
     def num_requests(self) -> int:
+        """Every terminated request, whatever its status."""
         return len(self.records)
 
     @property
+    def completed_records(self) -> list[RequestRecord]:
+        """Records that actually generated tokens.
+
+        Latency/token metrics are computed over these; ``failed``/``shed``
+        records (fault injection only) would otherwise credit tokens that
+        were never produced.  Fault-free traces are all-completed, so every
+        metric below is unchanged by the filter.
+        """
+        return [r for r in self.records if r.status == "completed"]
+
+    @property
     def duration(self) -> float:
-        """Makespan: serve start (t=0) to the last request's completion."""
+        """Makespan: serve start (t=0) to the last request's termination."""
         if not self.records:
             return 0.0
         return max(record.completion_time for record in self.records)
 
     @property
     def generated_tokens(self) -> int:
-        return sum(record.output_len for record in self.records)
+        return sum(record.output_len for record in self.completed_records)
 
     @property
     def throughput(self) -> float:
@@ -181,32 +219,54 @@ class ServingTrace:
         return self.generated_tokens / self.duration
 
     def ttft_percentiles(self, qs=(50, 90, 99)) -> dict[float, float]:
-        if not self.records:
+        records = self.completed_records
+        if not records:
             return {}
-        return percentiles((r.ttft for r in self.records), qs)
+        return percentiles((r.ttft for r in records), qs)
 
     def tpot_percentiles(self, qs=(50, 90, 99)) -> dict[float, float]:
-        if not self.records:
+        records = self.completed_records
+        if not records:
             return {}
-        return percentiles((r.tpot for r in self.records), qs)
+        return percentiles((r.tpot for r in records), qs)
 
     def latency_percentiles(self, qs=(50, 90, 99)) -> dict[float, float]:
-        if not self.records:
+        records = self.completed_records
+        if not records:
             return {}
-        return percentiles((r.e2e_latency for r in self.records), qs)
+        return percentiles((r.e2e_latency for r in records), qs)
 
     def goodput(self, ttft_slo_s: float | None = None,
                 tpot_slo_s: float | None = None) -> float:
         """SLO-conditioned token goodput (tokens per second)."""
-        return serving_goodput(self.records, self.duration,
+        return serving_goodput(self.completed_records, self.duration,
                                ttft_slo_s=ttft_slo_s, tpot_slo_s=tpot_slo_s)
 
     @property
     def mean_queueing_delay(self) -> float:
-        if not self.records:
+        records = self.completed_records
+        if not records:
             return 0.0
-        return (sum(r.queueing_delay for r in self.records)
-                / len(self.records))
+        return (sum(r.queueing_delay for r in records)
+                / len(records))
+
+    # ------------------------------------------------------------------ #
+    # resilience accounting (fault injection; all zero without faults)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_failed(self) -> int:
+        """Requests that exhausted their retry budget under failures."""
+        return sum(1 for r in self.records if r.status == "failed")
+
+    @property
+    def num_shed(self) -> int:
+        """Requests dropped by degraded-mode load shedding."""
+        return sum(1 for r in self.records if r.status == "shed")
+
+    @property
+    def num_retries(self) -> int:
+        """Total re-dispatches across all terminated requests."""
+        return sum(r.retries for r in self.records)
 
     # ------------------------------------------------------------------ #
     # session / SLO-class columns
@@ -219,7 +279,7 @@ class ServingTrace:
         count; a trace with no session turns reports 0.0.
         """
         bearing = hits = 0
-        for record in self.records:
+        for record in self.completed_records:
             if record.prefix_len > 0:
                 bearing += 1
                 hits += record.prefix_hit
@@ -228,14 +288,14 @@ class ServingTrace:
     @property
     def num_preemptions(self) -> int:
         """Total preemptions suffered across all completed requests."""
-        return sum(record.preemptions for record in self.records)
+        return sum(record.preemptions for record in self.completed_records)
 
     @property
     def preemption_waits(self) -> list[float]:
         """Queueing delays of requests whose admission preempted running
         work — the latency a higher-priority arrival paid before it could
         evict its way into the batch."""
-        return [record.queueing_delay for record in self.records
+        return [record.queueing_delay for record in self.completed_records
                 if record.preempting]
 
     @property
@@ -255,10 +315,11 @@ class ServingTrace:
     @property
     def prefill_chunks_per_request(self) -> float:
         """Mean prefill chunks per request (0.0 when chunking is off)."""
-        if not self.records:
+        records = self.completed_records
+        if not records:
             return 0.0
-        return (sum(record.prefill_chunks for record in self.records)
-                / len(self.records))
+        return (sum(record.prefill_chunks for record in records)
+                / len(records))
 
     def per_class_summary(self, class_slos: dict | None = None) -> dict:
         """Per-SLO-class breakdown: ``{slo_class: {metric: value}}``.
@@ -272,7 +333,7 @@ class ServingTrace:
         """
         slos = normalize_class_slos(class_slos)
         grouped: dict[str, list[RequestRecord]] = {}
-        for record in self.records:
+        for record in self.completed_records:
             grouped.setdefault(record.slo_class, []).append(record)
         duration = self.duration
         out = {}
@@ -316,4 +377,7 @@ class ServingTrace:
             "num_preemptions": self.num_preemptions,
             "p99_preemption_latency_s": self.p99_preemption_latency,
             "prefill_chunks_per_request": self.prefill_chunks_per_request,
+            "num_failed": self.num_failed,
+            "num_shed": self.num_shed,
+            "num_retries": self.num_retries,
         }
